@@ -1,0 +1,154 @@
+// Ablation benchmarks: each one switches off a single modelled mechanism
+// that DESIGN.md calls out as load-bearing for a paper result, and
+// reports the headline quantity with the mechanism on and off. If an
+// ablated run still shows the paper's effect, the model is getting the
+// result for the wrong reason — these benches are the guard against
+// that.
+//
+//	BenchmarkAblationFreeListPromotion — Table 3's inversion needs CMS's
+//	    expensive free-list promotion; with bump-cost promotion it
+//	    disappears.
+//	BenchmarkAblationOldPressure — §4.1's tens-of-seconds ParallelOld
+//	    young pauses need the old-generation promotion slow-path.
+//	BenchmarkAblationNUMA — the minutes-scale full collection needs the
+//	    NUMA remote-access penalty.
+//	BenchmarkAblationG1SerialFull — Figure 1a/2a's G1 collapse needs
+//	    JDK 8's single-threaded full GC; with a parallel full GC
+//	    (JDK 10+) G1 rejoins the pack.
+package jvmgc_test
+
+import (
+	"testing"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/gclog"
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// table3Inversion runs the H2/CMS 64 GB young-size sweep endpoints and
+// returns avg(6 GB young) / avg(48 GB young).
+func table3Inversion(b *testing.B, costs *gcmodel.Costs) float64 {
+	b.Helper()
+	bench, err := dacapo.ByName("h2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	avg := func(young machine.Bytes) float64 {
+		cfg := dacapo.BaselineConfig(bench)
+		cfg.CollectorName = "CMS"
+		cfg.Heap = 64 * machine.GB
+		cfg.Young = young
+		cfg.YoungExplicit = true
+		cfg.SystemGC = false
+		cfg.Costs = costs
+		cfg.Seed = 42
+		res, err := dacapo.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Log.AvgPause().Seconds()
+	}
+	small := avg(6 * machine.GB)
+	big := avg(48 * machine.GB)
+	if big == 0 {
+		return 0
+	}
+	return small / big
+}
+
+func BenchmarkAblationFreeListPromotion(b *testing.B) {
+	var withMech, without float64
+	for i := 0; i < b.N; i++ {
+		withMech = table3Inversion(b, nil)
+		ablated := gcmodel.DefaultCosts()
+		ablated.PromoteFreeList = ablated.PromoteBump
+		without = table3Inversion(b, &ablated)
+	}
+	b.ReportMetric(withMech, "inversion-with-freelist")
+	b.ReportMetric(without, "inversion-without")
+}
+
+// stressYoungMax runs the ParallelOld Cassandra stress test and returns
+// its worst non-full pause in seconds.
+func stressYoungMax(b *testing.B, costs *gcmodel.Costs, m *machine.Machine) (youngMax, fullMax float64) {
+	b.Helper()
+	cfg := cassandra.StressConfig("ParallelOld", 2*simtime.Hour)
+	cfg.Costs = costs
+	cfg.Machine = m
+	cfg.Seed = 42
+	res, err := cassandra.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range res.Log.Pauses() {
+		if e.Kind == gclog.PauseFull {
+			if s := e.Duration.Seconds(); s > fullMax {
+				fullMax = s
+			}
+		} else if s := e.Duration.Seconds(); s > youngMax {
+			youngMax = s
+		}
+	}
+	return youngMax, fullMax
+}
+
+func BenchmarkAblationOldPressure(b *testing.B) {
+	var withMech, without float64
+	for i := 0; i < b.N; i++ {
+		withMech, _ = stressYoungMax(b, nil, nil)
+		ablated := gcmodel.DefaultCosts()
+		ablated.OldPressureMax = 0
+		without, _ = stressYoungMax(b, &ablated, nil)
+	}
+	b.ReportMetric(withMech, "max-young-s-with-pressure")
+	b.ReportMetric(without, "max-young-s-without")
+}
+
+func BenchmarkAblationNUMA(b *testing.B) {
+	var withMech, without float64
+	for i := 0; i < b.N; i++ {
+		_, withMech = stressYoungMax(b, nil, nil)
+		uniform := machine.New(machine.PaperTestbed())
+		uniform.Cost.RemoteFactor = 1.0 // remote access as fast as local
+		_, without = stressYoungMax(b, nil, uniform)
+	}
+	b.ReportMetric(withMech, "max-full-s-with-numa")
+	b.ReportMetric(without, "max-full-s-without")
+}
+
+// g1ExecRatio runs xalan with forced system GCs under G1 and ParallelOld
+// and returns G1's total over ParallelOld's.
+func g1ExecRatio(b *testing.B, costs *gcmodel.Costs) float64 {
+	b.Helper()
+	bench, err := dacapo.ByName("xalan")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(gc string) float64 {
+		cfg := dacapo.BaselineConfig(bench)
+		cfg.CollectorName = gc
+		cfg.Costs = costs
+		cfg.Seed = 42
+		res, err := dacapo.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Total.Seconds()
+	}
+	return run("G1") / run("ParallelOld")
+}
+
+func BenchmarkAblationG1SerialFull(b *testing.B) {
+	var jdk8, jdk10 float64
+	for i := 0; i < b.N; i++ {
+		jdk8 = g1ExecRatio(b, nil)
+		ablated := gcmodel.DefaultCosts()
+		ablated.G1FullParallel = true
+		jdk10 = g1ExecRatio(b, &ablated)
+	}
+	b.ReportMetric(jdk8, "G1-vs-PO-jdk8-serial-full")
+	b.ReportMetric(jdk10, "G1-vs-PO-parallel-full")
+}

@@ -1,0 +1,264 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation. Each benchmark regenerates its artifact from scratch per
+// iteration and reports the headline quantities as custom metrics, so
+// `go test -bench=. -benchmem` both times the laboratory and prints the
+// reproduced results' shape.
+//
+// Mapping (see DESIGN.md §4):
+//
+//	BenchmarkTable2Stability        — Table 2
+//	BenchmarkFigure1PauseScatter    — Figure 1 (a and b)
+//	BenchmarkFigure2IterationTimes  — Figure 2 (a and b)
+//	BenchmarkTable3HeapYoungSweep   — Table 3 (CMS + ParallelOld control)
+//	BenchmarkTable4TLAB             — Table 4
+//	BenchmarkFigure3Ranking         — Figure 3 (a and b)
+//	BenchmarkServerParallelOld      — §4.1 narrative (default 1 h / 2 h)
+//	BenchmarkFigure4ServerPauses    — Figure 4
+//	BenchmarkFigure5ClientLatency   — Figure 5
+//	BenchmarkTables567LatencyBands  — Tables 5–7
+//	BenchmarkTable8Verdicts         — Table 8
+package jvmgc_test
+
+import (
+	"testing"
+
+	"jvmgc/internal/cluster"
+	"jvmgc/internal/core"
+)
+
+func benchLab() *core.Lab { return core.QuickLab(42) }
+
+func BenchmarkTable2Stability(b *testing.B) {
+	var stable int
+	for i := 0; i < b.N; i++ {
+		tab := benchLab().TableStability()
+		stable = len(tab.StableNames())
+	}
+	b.ReportMetric(float64(stable), "stable-benchmarks")
+}
+
+func BenchmarkFigure1PauseScatter(b *testing.B) {
+	var g1Max, fieldMax float64
+	for i := 0; i < b.N; i++ {
+		series, err := benchLab().FigurePauseScatter("xalan", true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g1Max, fieldMax = 0, 0
+		for _, s := range series {
+			if s.Collector == "G1" {
+				g1Max = s.MaxPause()
+			} else if m := s.MaxPause(); m > fieldMax {
+				fieldMax = m
+			}
+		}
+		if _, err := benchLab().FigurePauseScatter("xalan", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(g1Max*1e3, "G1-max-pause-ms")
+	b.ReportMetric(fieldMax*1e3, "others-max-pause-ms")
+}
+
+func BenchmarkFigure2IterationTimes(b *testing.B) {
+	var g1Final, poFinal float64
+	for i := 0; i < b.N; i++ {
+		series, err := benchLab().FigureIterationTimes("xalan", true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			switch s.Collector {
+			case "G1":
+				g1Final = s.Final()
+			case "ParallelOld":
+				poFinal = s.Final()
+			}
+		}
+		if _, err := benchLab().FigureIterationTimes("xalan", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(g1Final/poFinal, "G1-vs-ParallelOld-final")
+}
+
+func BenchmarkTable3HeapYoungSweep(b *testing.B) {
+	var inversion float64
+	for i := 0; i < b.N; i++ {
+		cms, err := benchLab().TableHeapYoungSweep("h2", "CMS", core.Table3Cases())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Ratio of the smallest-young to largest-young average pause on
+		// the 64 GB heap (the paper's anomaly: > 1 for CMS).
+		inversion = cms.Rows[0].AvgPauseS / cms.Rows[3].AvgPauseS
+		if _, err := benchLab().TableHeapYoungSweep("h2", "ParallelOld", core.Table3Cases()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(inversion, "CMS-avg-pause-inversion")
+}
+
+func BenchmarkTable4TLAB(b *testing.B) {
+	var neutral, deviating int
+	for i := 0; i < b.N; i++ {
+		tab, err := benchLab().TableTLAB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, p, m := tab.Counts()
+		neutral, deviating = n, p+m
+	}
+	b.ReportMetric(float64(neutral), "neutral-cells")
+	b.ReportMetric(float64(deviating), "deviating-cells")
+}
+
+func BenchmarkFigure3Ranking(b *testing.B) {
+	var poPct, g1Pct float64
+	for i := 0; i < b.N; i++ {
+		r, err := benchLab().FigureRanking(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		poPct = r.Percent("ParallelOld")
+		g1Pct = r.Percent("G1")
+		if _, err := benchLab().FigureRanking(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(poPct, "ParallelOld-wins-pct")
+	b.ReportMetric(g1Pct, "G1-wins-pct")
+}
+
+func BenchmarkServerParallelOld(b *testing.B) {
+	var maxFull float64
+	for i := 0; i < b.N; i++ {
+		study, err := benchLab().ServerPauseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range study.Rows {
+			if r.Collector == "ParallelOld" && r.MaxFullS > maxFull {
+				maxFull = r.MaxFullS
+			}
+		}
+	}
+	b.ReportMetric(maxFull, "ParallelOld-max-full-gc-s")
+}
+
+func BenchmarkFigure4ServerPauses(b *testing.B) {
+	var cmsMax, g1Max float64
+	for i := 0; i < b.N; i++ {
+		study, err := benchLab().ServerPauseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range study.FigureServerPauses() {
+			switch s.Collector {
+			case "CMS":
+				cmsMax = s.MaxPause()
+			case "G1":
+				g1Max = s.MaxPause()
+			}
+		}
+	}
+	b.ReportMetric(cmsMax, "CMS-max-pause-s")
+	b.ReportMetric(g1Max, "G1-max-pause-s")
+}
+
+func BenchmarkFigure5ClientLatency(b *testing.B) {
+	var coincidence float64
+	for i := 0; i < b.N; i++ {
+		exp, err := benchLab().ClientLatencyStudy("ParallelOld")
+		if err != nil {
+			b.Fatal(err)
+		}
+		coincidence = exp.PeaksCoincideWithGCs(1000)
+	}
+	b.ReportMetric(coincidence, "top1000-peaks-GC-pct")
+}
+
+func BenchmarkTables567LatencyBands(b *testing.B) {
+	var readAvg, gcCoverage float64
+	for i := 0; i < b.N; i++ {
+		exps, err := benchLab().ClientLatencyStudyAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range exps {
+			if e.Collector == "ParallelOld" {
+				readAvg = e.Read.AvgMS
+				if len(e.Read.Above) > 0 {
+					gcCoverage = e.Read.Above[0].GCs
+				}
+			}
+		}
+	}
+	b.ReportMetric(readAvg, "ParallelOld-read-avg-ms")
+	b.ReportMetric(gcCoverage, "gt2x-band-GC-coverage-pct")
+}
+
+func BenchmarkTable8Verdicts(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		lab := benchLab()
+		ranking, err := lab.FigureRanking(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iter, err := lab.FigureIterationTimes("xalan", true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		server, err := lab.ServerPauseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(core.TableVerdicts(ranking, iter, server).Rows)
+	}
+	b.ReportMetric(float64(rows), "verdict-rows")
+}
+
+// BenchmarkExtensionHTM runs the paper's §6 future-work comparison: the
+// experimental HTM collector against the three main GCs on both
+// environments.
+func BenchmarkExtensionHTM(b *testing.B) {
+	var htmMax, cmsMax float64
+	for i := 0; i < b.N; i++ {
+		study, err := benchLab().ExtensionHTMStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		htm, err := study.Find("HTM")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cms, err := study.Find("CMS")
+		if err != nil {
+			b.Fatal(err)
+		}
+		htmMax, cmsMax = htm.ServerMaxPauseS, cms.ServerMaxPauseS
+	}
+	b.ReportMetric(htmMax*1e3, "HTM-max-pause-ms")
+	b.ReportMetric(cmsMax*1e3, "CMS-max-pause-ms")
+}
+
+// BenchmarkExtensionCluster runs the 3-node ring under CMS and reports
+// the quorum-masking numbers.
+func BenchmarkExtensionCluster(b *testing.B) {
+	var quorumMax, allMax float64
+	for i := 0; i < b.N; i++ {
+		study, err := benchLab().ClusterStudyAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cms, err := study.Find("CMS")
+		if err != nil {
+			b.Fatal(err)
+		}
+		quorumMax = cms.PerLevel[cluster.Quorum].MaxMS
+		allMax = cms.PerLevel[cluster.All].MaxMS
+	}
+	b.ReportMetric(quorumMax, "CMS-quorum-max-ms")
+	b.ReportMetric(allMax, "CMS-all-max-ms")
+}

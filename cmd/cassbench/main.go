@@ -1,0 +1,78 @@
+// Command cassbench runs the client-server experiment: a Cassandra-style
+// node under one collector, with a YCSB-style client measuring
+// per-operation latency (the paper's §4).
+//
+// Examples:
+//
+//	cassbench -collector ParallelOld -stress
+//	cassbench -collector CMS -duration 1h -points
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jvmgc"
+)
+
+func main() {
+	var (
+		col      = flag.String("collector", "ParallelOld", "collector (ParallelOld, CMS, G1)")
+		stress   = flag.Bool("stress", false, "use the paper's stress configuration (no flushes, preloaded commitlog)")
+		duration = flag.Duration("duration", 2*time.Hour, "client-driven run length (simulated)")
+		ops      = flag.Float64("ops", 150, "client arrival rate (ops/second)")
+		points   = flag.Bool("points", false, "dump the latency points and GC series (Figure 5 data)")
+		asJSON   = flag.Bool("json", false, "emit the full result as JSON (bands, pauses and points)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	res, err := jvmgc.RunClientServer(jvmgc.ClientServerOptions{
+		Collector:       *col,
+		Stress:          *stress,
+		Duration:        *duration,
+		ClientOpsPerSec: *ops,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cassbench:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "cassbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("server: %s, %.0fs total (%.0fs replay), %d pauses (%d full), max pause %v\n",
+		*col, res.TotalSeconds, res.ReplaySeconds, len(res.ServerPauses), res.FullGCs, res.MaxPause)
+	printBands := func(name string, b jvmgc.LatencyBands) {
+		fmt.Printf("%s: n=%d avg=%.3fms min=%.3fms max=%.3fms normal-band=%.2f%%reqs/%.2f%%GCs\n",
+			name, b.N, b.AvgMS, b.MinMS, b.MaxMS, b.NormalReqsPct, b.NormalGCsPct)
+		for _, line := range b.Exceedance {
+			fmt.Printf("  %-11s %.3f%%reqs  %.1f%%GCs\n", line.Label, line.ReqsPct, line.GCsPct)
+		}
+	}
+	printBands("READ", res.Read)
+	printBands("UPDATE", res.Update)
+
+	if *points {
+		for _, op := range res.Ops {
+			typ := "UPDATE"
+			if op.Read {
+				typ = "READ"
+			}
+			fmt.Printf("%s %.1f %.3f\n", typ, op.AtSeconds, op.LatencyMS)
+		}
+		for _, p := range res.ServerPauses {
+			fmt.Printf("GC %.1f %.3f\n", p.At.Seconds(), p.Duration.Seconds()*1e3)
+		}
+	}
+}

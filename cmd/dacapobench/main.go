@@ -1,0 +1,68 @@
+// Command dacapobench runs DaCapo-style benchmark experiments: a single
+// benchmark under one collector, or the paper's sweeps.
+//
+// Examples:
+//
+//	dacapobench -bench xalan -collector G1
+//	dacapobench -bench xalan -all-collectors -no-system-gc
+//	dacapobench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jvmgc"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "xalan", "benchmark name")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+		col        = flag.String("collector", "ParallelOld", "collector name")
+		all        = flag.Bool("all-collectors", false, "run all six collectors")
+		heap       = flag.Int64("heap", 0, "heap bytes (0 = paper baseline 16 GiB)")
+		young      = flag.Int64("young", 0, "young bytes (0 = baseline ~5.6 GiB)")
+		iters      = flag.Int("iterations", 10, "benchmark iterations")
+		noSystemGC = flag.Bool("no-system-gc", false, "disable the forced full GC between iterations")
+		noTLAB     = flag.Bool("no-tlab", false, "disable TLABs")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range jvmgc.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	collectors := []string{*col}
+	if *all {
+		collectors = jvmgc.Collectors()
+	}
+	for _, c := range collectors {
+		res, err := jvmgc.RunBenchmark(jvmgc.BenchmarkOptions{
+			Benchmark:   *bench,
+			Collector:   c,
+			HeapBytes:   *heap,
+			YoungBytes:  *young,
+			Iterations:  *iters,
+			NoSystemGC:  *noSystemGC,
+			DisableTLAB: *noTLAB,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dacapobench: %s/%s: %v\n", *bench, c, err)
+			continue
+		}
+		fmt.Printf("%-12s total=%.3fs final=%.3fs pauses=%d full=%d maxPause=%v totalPause=%v\n",
+			c, res.TotalSeconds,
+			res.IterationSeconds[len(res.IterationSeconds)-1],
+			len(res.Pauses), res.FullGCs, res.MaxPause, res.TotalPause)
+		for i, d := range res.IterationSeconds {
+			fmt.Printf("  iteration %2d: %.3fs\n", i+1, d)
+		}
+	}
+}

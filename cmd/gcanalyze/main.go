@@ -1,0 +1,87 @@
+// Command gcanalyze digests a GC log: pause statistics, a duration
+// histogram, a pause timeline plot, and the cluster-impact analysis
+// (which pauses would get a Cassandra node declared down).
+//
+// It reads logs in this laboratory's HotSpot-flavoured rendering — the
+// output of `gcsim -v`, `jvmgc.SimulationResult.LogText`, or any file in
+// the same format.
+//
+// Examples:
+//
+//	gcsim -collector CMS -heap 4g -alloc 800m -duration 5m -v | gcanalyze
+//	gcanalyze -plot < run.gclog
+//	gcanalyze -suspicion-timeout 8s server.gclog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/gclog"
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/textplot"
+)
+
+func main() {
+	var (
+		plot    = flag.Bool("plot", false, "render the pause timeline as an ASCII scatter")
+		timeout = flag.Duration("suspicion-timeout", 8*time.Second,
+			"gossip failure-detector timeout for the cluster-impact analysis (0 disables)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	log, err := gclog.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(gclog.Summarize(log).Render())
+	fmt.Println()
+	fmt.Println("pause duration histogram:")
+	fmt.Print(gclog.Histogram(log))
+
+	if *timeout > 0 {
+		fd := cassandra.FailureDetector{
+			HeartbeatInterval: simtime.Second,
+			SuspicionTimeout:  simtime.FromStd(*timeout),
+		}
+		sus := fd.Analyze(log)
+		fmt.Println()
+		fmt.Println(cassandra.DescribeSuspicions("node", sus))
+	}
+
+	if *plot {
+		var series textplot.Series
+		series.Name = "pauses"
+		series.Glyph = '*'
+		for _, e := range log.Pauses() {
+			series.X = append(series.X, e.Start.Seconds())
+			series.Y = append(series.Y, e.Duration.Seconds())
+		}
+		sc := textplot.Scatter{
+			Title: "pause timeline", Width: 78, Height: 16,
+			XLabel: "time (s)", YLabel: "pause (s)",
+		}
+		fmt.Println()
+		fmt.Println(sc.Render([]textplot.Series{series}))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcanalyze:", err)
+	os.Exit(1)
+}

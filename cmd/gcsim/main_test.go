@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"512", 512},
+		{"2k", 2048},
+		{"3m", 3 << 20},
+		{"16g", 16 << 30},
+		{"1.5g", 3 << 29},
+		{"  8M ", 8 << 20},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12q3g"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSizeFormat(t *testing.T) {
+	cases := map[int64]string{
+		512:      "512B",
+		3 << 20:  "3.00MB",
+		16 << 30: "16.00GB",
+		5 << 29:  "2.50GB",
+	}
+	for in, want := range cases {
+		if got := size(in); got != want {
+			t.Errorf("size(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package jvmgc_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jvmgc"
+)
+
+// The simplest use: run one simulated JVM against a workload and inspect
+// its garbage-collection activity. Everything is deterministic in the
+// seed.
+func ExampleSimulate() {
+	res, err := jvmgc.Simulate(jvmgc.SimulationConfig{
+		Collector:        "CMS",
+		HeapBytes:        4 << 30, // 4 GiB
+		AllocBytesPerSec: 800e6,   // 800 MB/s
+		Seed:             7,
+	}, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CMS: %d pauses, %d full\n", len(res.Pauses), res.FullGCs)
+	// Output: CMS: 45 pauses, 0 full
+}
+
+// Reproduce one of the paper's DaCapo runs: xalan under the default
+// collector with a forced full collection between the ten iterations.
+func ExampleRunBenchmark() {
+	res, err := jvmgc.RunBenchmark(jvmgc.BenchmarkOptions{
+		Benchmark: "xalan",
+		Collector: "ParallelOld",
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xalan: %d iterations, %d full GCs\n", len(res.IterationSeconds), res.FullGCs)
+	// Output: xalan: 10 iterations, 9 full GCs
+}
+
+// The six HotSpot collectors the paper studies, in its Table 1 order.
+func ExampleCollectors() {
+	fmt.Println(jvmgc.Collectors())
+	// Output: [Serial ParNew Parallel ParallelOld CMS G1]
+}

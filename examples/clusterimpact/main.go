@@ -1,0 +1,62 @@
+// clusterimpact: the paper's closing warning made concrete — "in a
+// distributed system, even a lag of a few seconds might result in the
+// current node being considered down and the initiation of a cumbersome
+// synchronization protocol."
+//
+// Runs the saturated storage node under each collector and asks the
+// cluster's question: how often would gossip peers have declared this
+// node dead purely because of garbage collection?
+//
+// Run with:
+//
+//	go run ./examples/clusterimpact
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jvmgc"
+)
+
+func main() {
+	// Cassandra-like gossip: heartbeats every second, peers suspect the
+	// node after ~8 s of silence.
+	const suspicionTimeout = 8 * time.Second
+
+	fmt.Printf("failure-detector timeout: %v\n\n", suspicionTimeout)
+	for _, collector := range []string{"ParallelOld", "CMS", "G1", "HTM"} {
+		res, err := jvmgc.RunClientServer(jvmgc.ClientServerOptions{
+			Collector: collector,
+			Stress:    true,
+			Duration:  2 * time.Hour,
+			Seed:      13,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		suspicions := 0
+		var down time.Duration
+		var worst time.Duration
+		for _, p := range res.ServerPauses {
+			if p.Duration > worst {
+				worst = p.Duration
+			}
+			if p.Duration > suspicionTimeout {
+				suspicions++
+				down += p.Duration - suspicionTimeout
+			}
+		}
+		verdict := "node stays in the ring"
+		if suspicions > 0 {
+			verdict = fmt.Sprintf("peers declare it DOWN %d time(s), %v of false downtime",
+				suspicions, down.Round(time.Second))
+		}
+		fmt.Printf("%-12s worst pause %-10v -> %s\n",
+			collector, worst.Round(time.Millisecond), verdict)
+	}
+	fmt.Println("\nEvery suspicion costs the cluster hint accumulation, reconnects and")
+	fmt.Println("read repair when the 'dead' node reappears — GC pauses become a")
+	fmt.Println("cluster-wide event (paper §4.1, §6).")
+}

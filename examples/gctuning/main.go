@@ -1,0 +1,83 @@
+// gctuning: use the laboratory the way a performance engineer would —
+// sweep collectors and young-generation sizes for a fixed service
+// workload and pick the configuration with the best worst-case pause
+// under a throughput floor.
+//
+// This is the paper's §3 methodology turned into a tuning tool: instead
+// of reading GC logs off a production box for every candidate flag
+// combination, sweep them in simulation first.
+//
+// Run with:
+//
+//	go run ./examples/gctuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jvmgc"
+)
+
+func main() {
+	const (
+		heap     = int64(16) << 30
+		duration = 5 * time.Minute
+		// The service cannot tolerate losing more than 2% of its time to
+		// pauses, and wants the smallest worst-case pause within that.
+		maxPauseBudget = 0.02
+	)
+	youngSizes := []int64{1 << 30, 2 << 30, 4 << 30, 8 << 30}
+
+	type candidate struct {
+		collector string
+		young     int64
+		worst     time.Duration
+		pauseFrac float64
+	}
+	var best *candidate
+
+	fmt.Printf("%-12s %-8s %-12s %-10s %s\n", "collector", "young", "worstPause", "pause%", "verdict")
+	for _, collector := range jvmgc.Collectors() {
+		for _, young := range youngSizes {
+			res, err := jvmgc.Simulate(jvmgc.SimulationConfig{
+				Collector:        collector,
+				HeapBytes:        heap,
+				YoungBytes:       young,
+				AllocBytesPerSec: 500e6,
+				Threads:          48,
+				// A service with a 1 GiB working set of medium-lived
+				// request state.
+				ShortLivedFraction:  0.88,
+				ShortLifetime:       150 * time.Millisecond,
+				MediumLivedFraction: 0.12,
+				MediumLifetime:      8 * time.Second,
+				Seed:                11,
+			}, duration)
+			if err != nil {
+				log.Fatal(err)
+			}
+			frac := res.TotalPause.Seconds() / duration.Seconds()
+			verdict := ""
+			if frac <= maxPauseBudget {
+				if best == nil || res.MaxPause < best.worst {
+					best = &candidate{collector, young, res.MaxPause, frac}
+					verdict = "<- best so far"
+				}
+			} else {
+				verdict = "over pause budget"
+			}
+			fmt.Printf("%-12s %-8s %-12v %-10.2f %s\n",
+				collector, gb(young), res.MaxPause.Round(time.Millisecond), 100*frac, verdict)
+		}
+	}
+	if best == nil {
+		fmt.Println("no configuration met the pause budget")
+		return
+	}
+	fmt.Printf("\nrecommendation: %s with a %s young generation (worst pause %v, %.2f%% paused)\n",
+		best.collector, gb(best.young), best.worst.Round(time.Millisecond), 100*best.pauseFrac)
+}
+
+func gb(b int64) string { return fmt.Sprintf("%dg", b>>30) }

@@ -1,0 +1,46 @@
+// Quickstart: simulate one JVM running a typical server workload under
+// two collectors and compare their pause behaviour.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jvmgc"
+)
+
+func main() {
+	workload := jvmgc.SimulationConfig{
+		HeapBytes:        8 << 30, // 8 GiB
+		AllocBytesPerSec: 600e6,   // 600 MB/s of allocation
+		Threads:          32,
+		Seed:             7,
+	}
+
+	for _, collector := range []string{"ParallelOld", "CMS"} {
+		cfg := workload
+		cfg.Collector = collector
+		res, err := jvmgc.Simulate(cfg, 2*time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d pauses (%d full), total %v, worst %v\n",
+			collector, len(res.Pauses), res.FullGCs,
+			res.TotalPause.Round(time.Millisecond),
+			res.MaxPause.Round(time.Millisecond))
+		// Print the first few pauses of the log.
+		for i, p := range res.Pauses {
+			if i == 5 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %8.3fs  %-18s %-22s %v\n",
+				p.At.Seconds(), p.Kind, "("+p.Cause+")", p.Duration.Round(time.Microsecond))
+		}
+	}
+}

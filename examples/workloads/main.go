@@ -1,0 +1,52 @@
+// workloads: run the YCSB core workloads (A–F) against the same simulated
+// storage node and compare how each access pattern experiences the
+// server's garbage collector.
+//
+// Scan-heavy workloads (E) pay more per operation but expose a smaller
+// share of requests to pause shadows; read-only workloads (C) feel every
+// pause as a spike.
+//
+// Run with:
+//
+//	go run ./examples/workloads
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jvmgc"
+)
+
+func main() {
+	workloads := []struct {
+		letter byte
+		name   string
+	}{
+		{'A', "A update-heavy"},
+		{'B', "B read-mostly"},
+		{'C', "C read-only"},
+		{'E', "E short-ranges"},
+		{'F', "F read-modify-write"},
+	}
+	fmt.Println("workload              avg(ms)  max(ms)  normal-band")
+	for _, w := range workloads {
+		res, err := jvmgc.RunClientServer(jvmgc.ClientServerOptions{
+			Collector: "CMS",
+			Duration:  time.Hour,
+			Workload:  w.letter,
+			Seed:      9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Workload F has no reads; report the dominant operation type.
+		bands := res.Read
+		if bands.N == 0 {
+			bands = res.Update
+		}
+		fmt.Printf("%-20s  %-7.3f  %-7.1f  %.1f%%\n",
+			w.name, bands.AvgMS, bands.MaxMS, bands.NormalReqsPct)
+	}
+}

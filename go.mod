@@ -1,0 +1,3 @@
+module jvmgc
+
+go 1.22

@@ -1,0 +1,100 @@
+package cassandra
+
+import (
+	"fmt"
+
+	"jvmgc/internal/gclog"
+	"jvmgc/internal/simtime"
+)
+
+// FailureDetector models the cluster-membership consequence the paper's
+// §4.1 warns about: "in a distributed system, even a lag of a few seconds
+// might result in the current node being considered down and the
+// initiation of a cumbersome synchronization protocol."
+//
+// Cassandra's gossip failure detection declares a peer down when its
+// heartbeats stop arriving for longer than the detector's effective
+// timeout (the phi-accrual detector's threshold behaves like an adaptive
+// timeout of a few seconds). A stop-the-world pause freezes the gossip
+// threads with everything else, so any pause longer than the timeout is
+// a suspicion event — and every suspicion triggers reconnection, hint
+// accumulation and read-repair churn when the node "returns".
+type FailureDetector struct {
+	// HeartbeatInterval is the gossip period (Cassandra: 1 s).
+	HeartbeatInterval simtime.Duration
+	// SuspicionTimeout is the silence after which peers declare the node
+	// down (phi-accrual with default settings lands in the 5–10 s range;
+	// the model uses a fixed effective value).
+	SuspicionTimeout simtime.Duration
+}
+
+// DefaultFailureDetector returns gossip parameters matching a Cassandra
+// 2.0 cluster with default phi-accrual settings.
+func DefaultFailureDetector() FailureDetector {
+	return FailureDetector{
+		HeartbeatInterval: simtime.Second,
+		SuspicionTimeout:  8 * simtime.Second,
+	}
+}
+
+// Suspicion is one interval during which peers considered the node down.
+type Suspicion struct {
+	// Start is when the silence crossed the timeout.
+	Start simtime.Time
+	// Duration is how long the node stayed suspected beyond that point
+	// (until the pause ended and the next heartbeat flowed).
+	Duration simtime.Duration
+	// Pause is the stop-the-world event responsible.
+	Pause gclog.Event
+}
+
+// Analyze scans a GC log for pauses long enough to trip the detector and
+// returns the resulting suspicion events.
+func (fd FailureDetector) Analyze(log *gclog.Log) []Suspicion {
+	if fd.SuspicionTimeout <= 0 {
+		return nil
+	}
+	var out []Suspicion
+	for _, e := range log.Pauses() {
+		// The worst case: the last heartbeat left just before the pause,
+		// so silence ≈ pause duration + one heartbeat interval. The model
+		// uses the pause duration alone (the optimistic bound).
+		if e.Duration <= fd.SuspicionTimeout {
+			continue
+		}
+		out = append(out, Suspicion{
+			Start:    e.Start.Add(fd.SuspicionTimeout),
+			Duration: e.Duration - fd.SuspicionTimeout,
+			Pause:    e,
+		})
+	}
+	return out
+}
+
+// Downtime sums the total suspected-down time across the suspicions.
+func Downtime(suspicions []Suspicion) simtime.Duration {
+	var sum simtime.Duration
+	for _, s := range suspicions {
+		sum += s.Duration
+	}
+	return sum
+}
+
+// DescribeSuspicions renders a short cluster-impact report.
+func DescribeSuspicions(collector string, suspicions []Suspicion) string {
+	if len(suspicions) == 0 {
+		return fmt.Sprintf("%s: no GC pause exceeded the failure-detector timeout", collector)
+	}
+	return fmt.Sprintf("%s: %d suspicion event(s), %v total suspected-down time (worst pause %v)",
+		collector, len(suspicions), Downtime(suspicions), worstPause(suspicions))
+}
+
+func worstPause(suspicions []Suspicion) simtime.Duration {
+	var max simtime.Duration
+	for _, s := range suspicions {
+		if s.Pause.Duration > max {
+			max = s.Pause.Duration
+		}
+	}
+	return max
+}

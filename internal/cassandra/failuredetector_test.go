@@ -1,0 +1,100 @@
+package cassandra
+
+import (
+	"strings"
+	"testing"
+
+	"jvmgc/internal/gclog"
+	"jvmgc/internal/simtime"
+)
+
+func mkLog(durations ...simtime.Duration) *gclog.Log {
+	l := gclog.New()
+	at := simtime.Time(0)
+	for _, d := range durations {
+		at = at.Add(60 * simtime.Second)
+		kind := gclog.PauseMinor
+		if d > 30*simtime.Second {
+			kind = gclog.PauseFull
+		}
+		l.Append(gclog.Event{Start: at, Duration: d, Kind: kind, Cause: gclog.CauseAllocationFailure})
+	}
+	return l
+}
+
+func TestAnalyzeThreshold(t *testing.T) {
+	fd := DefaultFailureDetector()
+	log := mkLog(2*simtime.Second, 8*simtime.Second, 12*simtime.Second, 3*simtime.Minute)
+	sus := fd.Analyze(log)
+	// Only the 12 s and 3 min pauses exceed the 8 s timeout (8 s exactly
+	// does not).
+	if len(sus) != 2 {
+		t.Fatalf("suspicions = %d, want 2", len(sus))
+	}
+	if sus[0].Pause.Duration != 12*simtime.Second {
+		t.Errorf("first suspicion pause = %v", sus[0].Pause.Duration)
+	}
+	if sus[0].Duration != 4*simtime.Second {
+		t.Errorf("first suspicion lasted %v, want 4s", sus[0].Duration)
+	}
+	if got := Downtime(sus); got != 4*simtime.Second+(3*simtime.Minute-8*simtime.Second) {
+		t.Errorf("downtime = %v", got)
+	}
+}
+
+func TestAnalyzeDegenerate(t *testing.T) {
+	fd := FailureDetector{}
+	if got := fd.Analyze(mkLog(time10())); got != nil {
+		t.Errorf("zero timeout produced suspicions: %v", got)
+	}
+	if Downtime(nil) != 0 {
+		t.Error("empty downtime nonzero")
+	}
+}
+
+func time10() simtime.Duration { return 10 * simtime.Second }
+
+func TestDescribeSuspicions(t *testing.T) {
+	fd := DefaultFailureDetector()
+	quiet := DescribeSuspicions("CMS", fd.Analyze(mkLog(simtime.Second)))
+	if !strings.Contains(quiet, "no GC pause exceeded") {
+		t.Errorf("quiet description: %q", quiet)
+	}
+	loud := DescribeSuspicions("ParallelOld", fd.Analyze(mkLog(4*simtime.Minute)))
+	for _, want := range []string{"ParallelOld", "1 suspicion", "4m"} {
+		if !strings.Contains(loud, want) {
+			t.Errorf("description %q missing %q", loud, want)
+		}
+	}
+}
+
+func TestFailureDetectorOnRealRuns(t *testing.T) {
+	// The paper's conclusion end-to-end: ParallelOld's stress-test full
+	// collection trips the failure detector; CMS's pauses do not.
+	fd := DefaultFailureDetector()
+
+	po, err := Run(func() Config {
+		cfg := shortStress("ParallelOld")
+		cfg.Duration = 40 * simtime.Minute
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sus := fd.Analyze(po.Log); len(sus) == 0 {
+		t.Error("ParallelOld's full GC did not trip the failure detector")
+	}
+
+	cms, err := Run(func() Config {
+		cfg := shortStress("CMS")
+		cfg.Duration = 40 * simtime.Minute
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sus := fd.Analyze(cms.Log); len(sus) != 0 {
+		t.Errorf("CMS tripped the failure detector %d time(s), worst %v",
+			len(sus), worstPause(sus))
+	}
+}

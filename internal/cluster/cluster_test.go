@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// testConfig returns a small, fast ring whose nodes still pause visibly.
+func testConfig(collector string) Config {
+	node := cassandra.DefaultConfig(collector, 20*simtime.Minute)
+	node.Heap = 16 * machine.GB
+	node.Young = 3 * machine.GB
+	node.WriteFraction = 0.5
+	return Config{
+		Nodes:             3,
+		ReplicationFactor: 3,
+		Node:              node,
+		ClientOpsPerSec:   120,
+		Seed:              17,
+	}
+}
+
+func TestConsistencyLevelAcks(t *testing.T) {
+	cases := []struct {
+		level ConsistencyLevel
+		rf    int
+		want  int
+	}{
+		{One, 3, 1}, {Quorum, 3, 2}, {All, 3, 3},
+		{Quorum, 5, 3}, {Quorum, 1, 1}, {All, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.level.acks(c.rf); got != c.want {
+			t.Errorf("%v.acks(%d) = %d, want %d", c.level, c.rf, got, c.want)
+		}
+	}
+	if One.String() != "ONE" || Quorum.String() != "QUORUM" || All.String() != "ALL" {
+		t.Error("level names wrong")
+	}
+	if ConsistencyLevel(9).String() != "UNKNOWN" {
+		t.Error("unknown level name wrong")
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	res, err := Run(testConfig("CMS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(res.Nodes))
+	}
+	for lvl, rep := range res.PerLevel {
+		if rep.N == 0 {
+			t.Errorf("%v: no client operations", lvl)
+		}
+	}
+	// The nodes' pause schedules must be desynchronized (independent
+	// seeds): their logs differ.
+	if res.Nodes[0].Log.String() == res.Nodes[1].Log.String() {
+		t.Error("nodes produced identical GC schedules")
+	}
+	if out := res.Render(); !strings.Contains(out, "QUORUM") {
+		t.Error("render missing levels")
+	}
+}
+
+func TestQuorumMasksSingleNodePauses(t *testing.T) {
+	// The study's point: with desynchronized pauses and RF=3, the QUORUM
+	// tail is far below ALL's — one paused replica out of three never
+	// delays a quorum — while ALL inherits the union of everyone's
+	// pauses.
+	res, err := Run(testConfig("CMS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := res.PerLevel[One]
+	quorum := res.PerLevel[Quorum]
+	all := res.PerLevel[All]
+
+	if !(one.MaxMS <= quorum.MaxMS+1e-9 && quorum.MaxMS <= all.MaxMS+1e-9) {
+		t.Errorf("max latencies not ordered: ONE %.1f, QUORUM %.1f, ALL %.1f",
+			one.MaxMS, quorum.MaxMS, all.MaxMS)
+	}
+	if all.AvgMS < quorum.AvgMS || quorum.AvgMS < one.AvgMS {
+		t.Errorf("averages not ordered: %.3f / %.3f / %.3f",
+			one.AvgMS, quorum.AvgMS, all.AvgMS)
+	}
+	// ALL must be substantially worse than QUORUM in the tail: the union
+	// of three nodes' pauses vs mostly-masked single pauses.
+	if all.MaxMS < quorum.MaxMS*1.05 && all.AvgMS < quorum.AvgMS*1.02 {
+		t.Errorf("ALL (%.3f avg, %.1f max) not worse than QUORUM (%.3f avg, %.1f max)",
+			all.AvgMS, all.MaxMS, quorum.AvgMS, quorum.MaxMS)
+	}
+}
+
+func TestCoordinatorExposureFloorsMasking(t *testing.T) {
+	// Even at CL=ONE, roughly 1/Nodes of the pause exposure remains: the
+	// coordinator itself can be paused. So ONE's max latency is still a
+	// pause shadow, not the base latency.
+	res, err := Run(testConfig("CMS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := res.PerLevel[One]
+	if one.MaxMS < 20*one.AvgMS {
+		t.Errorf("ONE max %.1fms shows no coordinator pause shadow (avg %.3f)", one.MaxMS, one.AvgMS)
+	}
+}
+
+func TestReplicationFactorCappedAtNodes(t *testing.T) {
+	cfg := testConfig("CMS")
+	cfg.Nodes = 2
+	cfg.ReplicationFactor = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.ReplicationFactor != 2 {
+		t.Errorf("RF = %d, want capped at 2", res.Config.ReplicationFactor)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(testConfig("G1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig("G1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []ConsistencyLevel{One, Quorum, All} {
+		if a.PerLevel[lvl].AvgMS != b.PerLevel[lvl].AvgMS {
+			t.Fatalf("%v diverged across identical runs", lvl)
+		}
+	}
+}
+
+func TestUnknownCollectorPropagates(t *testing.T) {
+	cfg := testConfig("Epsilon")
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown collector accepted")
+	}
+}

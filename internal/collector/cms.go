@@ -1,0 +1,99 @@
+package collector
+
+import (
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// CMS is the ConcurrentMarkSweep collector: ParNew young collections plus
+// a mostly concurrent old-generation cycle (initial-mark pause,
+// concurrent mark, remark pause, concurrent sweep). It does not compact,
+// so swept space fragments; a promotion that cannot be satisfied, or an
+// old generation that fills mid-cycle, escalates to a single-threaded
+// mark-sweep-compact full collection — HotSpot's "concurrent mode
+// failure".
+type CMS struct {
+	base
+	concThreads int
+}
+
+// NewCMS constructs the CMS collector.
+func NewCMS(cfg Config) *CMS {
+	cfg = cfg.withDefaults()
+	return &CMS{
+		base:        base{mach: cfg.Machine, costs: cfg.Costs, gcThreads: cfg.GCThreads},
+		concThreads: cfg.ConcThreads,
+	}
+}
+
+// Name implements gcmodel.Collector.
+func (*CMS) Name() string { return "CMS" }
+
+// Survivors implements gcmodel.Collector: fixed sizing, like ParNew.
+func (*CMS) Survivors() gcmodel.SurvivorPolicy { return gcmodel.FixedSurvivors }
+
+// TenuringThreshold implements gcmodel.Collector (CMS's default of 6).
+func (*CMS) TenuringThreshold() int { return 6 }
+
+// ParallelYoung implements gcmodel.Collector.
+func (*CMS) ParallelYoung() bool { return true }
+
+// BarrierFactor implements gcmodel.Collector: CMS's incremental-update
+// barrier adds a little mutator overhead.
+func (*CMS) BarrierFactor() float64 { return 1.012 }
+
+// MinorPause implements gcmodel.Collector: ParNew young collection with
+// free-list promotion.
+func (c *CMS) MinorPause(s gcmodel.Snapshot) simtime.Duration {
+	work := c.costs.MinorWork(s, c.costs.PromoteFreeList)
+	return c.costs.ParallelPause(s, work)
+}
+
+// FullPause implements gcmodel.Collector: the concurrent-mode-failure /
+// System.gc() fallback is a single-threaded mark-sweep-compact of the
+// whole heap.
+func (c *CMS) FullPause(s gcmodel.Snapshot) simtime.Duration {
+	work := c.costs.FullWork(s) + float64(s.HeapUsed)*c.costs.Sweep
+	return c.costs.SerialPause(s, work, s.HeapUsed)
+}
+
+// Concurrent implements gcmodel.Collector.
+func (c *CMS) Concurrent() gcmodel.ConcurrentSpec {
+	return gcmodel.ConcurrentSpec{
+		Kind: gcmodel.CMSStyle,
+		// -XX:CMSInitiatingOccupancyFraction ergonomic default ≈ 80% in
+		// the regime the paper runs (92 - MinHeapFreeRatio tuning aside).
+		InitiatingOccupancy: 0.80,
+		Threads:             c.concThreads,
+		FragmentFrac:        0.10,
+	}
+}
+
+// InitialMarkPause implements gcmodel.Collector: a short pause marking
+// objects directly reachable from roots and the young generation.
+func (c *CMS) InitialMarkPause(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.Survived) * 0.3 * c.costs.Mark
+	return c.costs.ParallelPause(s, work)
+}
+
+// RemarkPause implements gcmodel.Collector: rescanning cards dirtied
+// during concurrent marking plus the young generation. This is CMS's
+// dominant pause on large heaps.
+func (c *CMS) RemarkPause(s gcmodel.Snapshot) simtime.Duration {
+	cardWork := float64(s.OldUsed) * c.costs.DirtyCardFrac * 3 * c.costs.CardScan
+	youngWork := float64(s.LiveYoung) * c.costs.Mark
+	return c.costs.ParallelPause(s, cardWork+youngWork)
+}
+
+// ConcurrentMarkSeconds implements gcmodel.Collector: wall-clock duration
+// of concurrent marking of the live old generation by the concurrent
+// worker gang.
+func (c *CMS) ConcurrentMarkSeconds(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.LiveOld) * c.costs.Mark
+	secs := c.mach.ParallelSeconds(work, c.concThreads)
+	return simtime.Seconds(secs)
+}
+
+// MixedPause implements gcmodel.Collector; CMS has no mixed collections.
+func (*CMS) MixedPause(gcmodel.Snapshot, machine.Bytes) simtime.Duration { return 0 }

@@ -1,0 +1,143 @@
+// Package collector implements cost-and-policy models of the six HotSpot
+// garbage collectors the paper evaluates (Table 1): Serial, ParNew,
+// Parallel, ParallelOld, CMS and G1.
+//
+// Each collector reproduces the algorithmic properties the study's
+// findings hinge on:
+//
+//   - Serial collects both generations on one thread, with the cheapest
+//     constant factors and the worst scaling.
+//   - ParNew and Parallel copy the young generation in parallel but fall
+//     back to a single-threaded full collection.
+//   - ParallelOld adds a (mostly) parallel compacting full collection and
+//     an adaptive survivor-sizing policy.
+//   - CMS collects the old generation concurrently (initial-mark pause,
+//     concurrent mark, remark pause, concurrent sweep), does not compact
+//     (fragmentation accrues), and promotes into free lists — several
+//     times more expensive per byte than bump-pointer promotion. ParNew
+//     shares that promotion path (it is CMS's young collector).
+//   - G1 collects incrementally with pause-target-driven young sizing and
+//     mixed collections, pays remembered-set overheads everywhere, and —
+//     as in JDK 8 — executes full collections (System.gc(), evacuation
+//     failure) on a SINGLE thread. That serial full GC is the mechanism
+//     behind the paper's headline "G1 is worst when full collections are
+//     forced".
+package collector
+
+import (
+	"fmt"
+	"sort"
+
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// base carries what every collector shares.
+type base struct {
+	mach      *machine.Machine
+	costs     gcmodel.Costs
+	gcThreads int
+}
+
+func (b base) threads(s gcmodel.Snapshot) int {
+	if s.GCThreads > 0 {
+		return s.GCThreads
+	}
+	return b.gcThreads
+}
+
+// Config parameterizes collector construction.
+type Config struct {
+	Machine *machine.Machine
+	Costs   gcmodel.Costs
+	// GCThreads is the parallel worker gang size; 0 selects the HotSpot
+	// ergonomic default for the machine.
+	GCThreads int
+	// ConcThreads is the concurrent worker count for CMS/G1; 0 selects
+	// the ergonomic default.
+	ConcThreads int
+	// G1PauseTarget is G1's -XX:MaxGCPauseMillis goal; 0 selects the
+	// 200 ms default.
+	G1PauseTarget simtime.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == nil {
+		c.Machine = machine.New(machine.PaperTestbed())
+	}
+	if c.Costs == (gcmodel.Costs{}) {
+		c.Costs = gcmodel.DefaultCosts()
+	}
+	if c.GCThreads <= 0 {
+		c.GCThreads = c.Machine.DefaultGCThreads()
+	}
+	if c.ConcThreads <= 0 {
+		c.ConcThreads = c.Machine.DefaultConcGCThreads()
+	}
+	if c.G1PauseTarget <= 0 {
+		c.G1PauseTarget = 200 * simtime.Millisecond
+	}
+	return c
+}
+
+// Names returns the collector names in the order the paper lists them.
+func Names() []string {
+	return []string{"Serial", "ParNew", "Parallel", "ParallelOld", "CMS", "G1"}
+}
+
+// New constructs a collector by HotSpot name. Recognized names are those
+// returned by Names (case-sensitive) plus the HotSpot aliases
+// "ConcMarkSweepGC"/"ConcurrentMarkSweep" for CMS and "G1GC" for G1.
+func New(name string, cfg Config) (gcmodel.Collector, error) {
+	cfg = cfg.withDefaults()
+	switch name {
+	case "Serial", "SerialGC":
+		return NewSerial(cfg), nil
+	case "ParNew", "ParNewGC":
+		return NewParNew(cfg), nil
+	case "Parallel", "ParallelGC":
+		return NewParallel(cfg), nil
+	case "ParallelOld", "ParallelOldGC":
+		return NewParallelOld(cfg), nil
+	case "CMS", "ConcMarkSweepGC", "ConcurrentMarkSweep":
+		return NewCMS(cfg), nil
+	case "G1", "G1GC":
+		return NewG1(cfg), nil
+	case "HTM", "HTMGC":
+		return NewHTM(cfg), nil
+	default:
+		return nil, fmt.Errorf("collector: unknown collector %q (known: %v)", name, Names())
+	}
+}
+
+// MustNew is New, panicking on error. Experiment tables use it with the
+// fixed name list.
+func MustNew(name string, cfg Config) gcmodel.Collector {
+	c, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// All constructs all six collectors in canonical order.
+func All(cfg Config) []gcmodel.Collector {
+	names := Names()
+	out := make([]gcmodel.Collector, len(names))
+	for i, n := range names {
+		out[i] = MustNew(n, cfg)
+	}
+	return out
+}
+
+// SortedAliases returns every name New accepts, sorted (for help text).
+func SortedAliases() []string {
+	a := []string{
+		"Serial", "SerialGC", "ParNew", "ParNewGC", "Parallel", "ParallelGC",
+		"ParallelOld", "ParallelOldGC", "CMS", "ConcMarkSweepGC",
+		"ConcurrentMarkSweep", "G1", "G1GC",
+	}
+	sort.Strings(a)
+	return a
+}

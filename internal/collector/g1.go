@@ -1,0 +1,138 @@
+package collector
+
+import (
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// G1 is the Garbage-First collector: region-based, with parallel
+// evacuation pauses sized toward a pause-time goal, a concurrent marking
+// cycle, and mixed collections that evacuate the garbage-richest old
+// regions. Remembered-set maintenance taxes both the mutator (barriers)
+// and every pause (update/scan phases) — the constant-factor overhead
+// behind its poor DaCapo throughput in the paper.
+//
+// As in OpenJDK 8, a System.gc() or an evacuation failure triggers a
+// SINGLE-THREADED full mark-compact of the entire heap, with the
+// remembered sets rebuilt afterwards. Forcing one of these between every
+// DaCapo iteration is what makes G1 the worst collector in the paper's
+// Figure 1(a)/2(a)/3(a).
+type G1 struct {
+	base
+	concThreads int
+	pauseTarget simtime.Duration
+}
+
+// NewG1 constructs the G1 collector.
+func NewG1(cfg Config) *G1 {
+	cfg = cfg.withDefaults()
+	return &G1{
+		base:        base{mach: cfg.Machine, costs: cfg.Costs, gcThreads: cfg.GCThreads},
+		concThreads: cfg.ConcThreads,
+		pauseTarget: cfg.G1PauseTarget,
+	}
+}
+
+// Name implements gcmodel.Collector.
+func (*G1) Name() string { return "G1" }
+
+// Survivors implements gcmodel.Collector: survivor regions are allocated
+// on demand, so overflow promotion is not G1's failure mode.
+func (*G1) Survivors() gcmodel.SurvivorPolicy { return gcmodel.AdaptiveSurvivors }
+
+// TenuringThreshold implements gcmodel.Collector: G1's survivor regions
+// and copy-cost heuristics promote long-lived data after a few
+// collections.
+func (*G1) TenuringThreshold() int { return 4 }
+
+// ParallelYoung implements gcmodel.Collector.
+func (*G1) ParallelYoung() bool { return true }
+
+// BarrierFactor implements gcmodel.Collector: SATB marking barrier plus
+// remembered-set write barrier make G1's the most expensive mutator tax.
+func (*G1) BarrierFactor() float64 { return 1.04 }
+
+// PauseTarget returns the -XX:MaxGCPauseMillis goal driving young sizing.
+func (c *G1) PauseTarget() simtime.Duration { return c.pauseTarget }
+
+// YoungBounds returns G1's ergonomic young-generation bounds as fractions
+// of the heap (G1NewSizePercent=5, G1MaxNewSizePercent=60).
+func (*G1) YoungBounds() (minFrac, maxFrac float64) { return 0.05, 0.60 }
+
+// remsetWork prices the update/scan of remembered sets during an
+// evacuation pause: proportional to old occupancy (more regions, more
+// remset entries) plus a per-region fixed term.
+func (c *G1) remsetWork(s gcmodel.Snapshot) float64 {
+	perRegion := float64(2 * machine.KB)
+	return float64(s.OldUsed)*c.costs.DirtyCardFrac*c.costs.RemSetWork +
+		float64(s.Geo.G1Regions())*perRegion
+}
+
+// MinorPause implements gcmodel.Collector: parallel evacuation of the
+// young regions plus remembered-set work.
+func (c *G1) MinorPause(s gcmodel.Snapshot) simtime.Duration {
+	work := c.costs.MinorWork(s, c.costs.PromoteBump) + c.remsetWork(s)
+	return c.costs.ParallelPause(s, work)
+}
+
+// FullPause implements gcmodel.Collector: JDK 8's single-threaded full
+// mark-compact, plus remembered-set rebuild.
+func (c *G1) FullPause(s gcmodel.Snapshot) simtime.Duration {
+	live := float64(s.LiveYoung + s.LiveOld)
+	work := c.costs.FullWork(s) + live*c.costs.RemSetWork +
+		float64(s.Geo.Heap)*c.costs.G1FullHeapFactor
+	if c.costs.G1FullParallel {
+		// Ablation: the parallel full GC G1 grew in JDK 10+.
+		return c.costs.MixedParallelPause(s, work, c.costs.FullParallelFrac, s.HeapUsed)
+	}
+	return c.costs.SerialPause(s, work, s.HeapUsed)
+}
+
+// Concurrent implements gcmodel.Collector.
+func (c *G1) Concurrent() gcmodel.ConcurrentSpec {
+	return gcmodel.ConcurrentSpec{
+		Kind: gcmodel.G1Style,
+		// -XX:InitiatingHeapOccupancyPercent default 45 (of whole heap).
+		InitiatingOccupancy: 0.45,
+		Threads:             c.concThreads,
+		MixedTarget:         4,
+	}
+}
+
+// InitialMarkPause implements gcmodel.Collector: piggybacked on a young
+// pause; only the extra root-marking work is priced here.
+func (c *G1) InitialMarkPause(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.Survived) * 0.2 * c.costs.Mark
+	return c.costs.ParallelPause(s, work)
+}
+
+// RemarkPause implements gcmodel.Collector: SATB buffer draining,
+// reference processing and per-region liveness accounting. On tens of
+// gigabytes of live old data this runs for seconds in JDK 8, which is
+// where G1's worst pauses on the saturated Cassandra heap come from.
+func (c *G1) RemarkPause(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.OldUsed)*c.costs.DirtyCardFrac*3*c.costs.CardScan +
+		float64(s.LiveOld)*0.2*c.costs.Mark +
+		float64(s.LiveYoung)*0.5*c.costs.Mark
+	return c.costs.ParallelPause(s, work)
+}
+
+// ConcurrentMarkSeconds implements gcmodel.Collector.
+func (c *G1) ConcurrentMarkSeconds(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.LiveOld) * c.costs.Mark
+	secs := c.mach.ParallelSeconds(work, c.concThreads)
+	return simtime.Seconds(secs)
+}
+
+// MixedPause implements gcmodel.Collector: a young evacuation that also
+// evacuates `reclaim` bytes' worth of old regions (live data in those
+// regions is copied; the model prices the copied fraction).
+func (c *G1) MixedPause(s gcmodel.Snapshot, reclaim machine.Bytes) simtime.Duration {
+	// Candidate old regions are chosen garbage-first: roughly 30% of the
+	// evacuated region volume is live and must be copied.
+	liveCopied := float64(reclaim) * 0.3
+	work := c.costs.MinorWork(s, c.costs.PromoteBump) + c.remsetWork(s) +
+		liveCopied*c.costs.Copy
+	return c.costs.ParallelPause(s, work)
+}

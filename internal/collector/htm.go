@@ -1,0 +1,120 @@
+package collector
+
+import (
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// HTM is the collector the paper's §6 sketches as future work: a fully
+// concurrent collector that uses hardware transactional memory so GC
+// threads can relocate objects while mutators run, in the spirit of the
+// paper's references — Collie (Iyengar et al., wait-free compaction via
+// HTM) and StackTrack (Alistarh et al., transactional memory
+// reclamation) — and of C4's pause-free ambitions.
+//
+// The model captures the trade the literature reports:
+//
+//   - Stop-the-world pauses shrink to brief handshakes: a young
+//     "collection" pause only snapshots roots; evacuation proceeds
+//     transactionally alongside the mutators. Old-generation cycles are
+//     likewise concurrent and compacting (no fragmentation, no
+//     free lists).
+//   - The mutator pays continuously: transactional read/write tracking
+//     and aborts tax every cycle of application work (StackTrack measures
+//     up to tens of percent of throughput), modelled as the largest
+//     barrier factor of any collector plus the concurrent gang's core
+//     steal.
+//   - A transaction-capacity overflow (huge object graphs, persistent
+//     conflicts) falls back to a ParallelOld-style parallel compaction —
+//     the only way the world fully stops.
+//
+// HTM is an extension: it is not part of collector.Names() (the paper's
+// six) and appears only through ExperimentalNames and explicit
+// construction.
+type HTM struct {
+	base
+	concThreads int
+}
+
+// NewHTM constructs the experimental HTM collector.
+func NewHTM(cfg Config) *HTM {
+	cfg = cfg.withDefaults()
+	return &HTM{
+		base:        base{mach: cfg.Machine, costs: cfg.Costs, gcThreads: cfg.GCThreads},
+		concThreads: cfg.ConcThreads,
+	}
+}
+
+// ExperimentalNames lists collectors beyond the paper's six.
+func ExperimentalNames() []string { return []string{"HTM"} }
+
+// Name implements gcmodel.Collector.
+func (*HTM) Name() string { return "HTM" }
+
+// Survivors implements gcmodel.Collector: relocation is concurrent and
+// compacting, so survivor pressure never forces premature promotion.
+func (*HTM) Survivors() gcmodel.SurvivorPolicy { return gcmodel.AdaptiveSurvivors }
+
+// TenuringThreshold implements gcmodel.Collector.
+func (*HTM) TenuringThreshold() int { return 4 }
+
+// ParallelYoung implements gcmodel.Collector.
+func (*HTM) ParallelYoung() bool { return true }
+
+// BarrierFactor implements gcmodel.Collector: transactional tracking is
+// the heaviest mutator tax of any collector here (~12%).
+func (*HTM) BarrierFactor() float64 { return 1.12 }
+
+// MinorPause implements gcmodel.Collector: a root-snapshot handshake.
+// The evacuation itself runs transactionally alongside the mutators; its
+// CPU cost is folded into the barrier factor and the concurrent gang.
+func (c *HTM) MinorPause(s gcmodel.Snapshot) simtime.Duration {
+	// Root snapshot only: a fraction of the usual root-scan work.
+	work := float64(s.MutatorThreads) * float64(32*machine.KB)
+	return c.costs.ParallelPause(s, work)
+}
+
+// FullPause implements gcmodel.Collector: the HTM fallback when
+// transactions cannot make progress — ParallelOld-style parallel
+// compaction.
+func (c *HTM) FullPause(s gcmodel.Snapshot) simtime.Duration {
+	return c.costs.MixedParallelPause(s, c.costs.FullWork(s), c.costs.FullParallelFrac, s.HeapUsed)
+}
+
+// Concurrent implements gcmodel.Collector: a CMS-shaped cycle (trigger at
+// an old-occupancy threshold, concurrent mark, brief flip pause,
+// concurrent reclaim) that compacts — FragmentFrac is zero.
+func (c *HTM) Concurrent() gcmodel.ConcurrentSpec {
+	return gcmodel.ConcurrentSpec{
+		Kind:                gcmodel.CMSStyle,
+		InitiatingOccupancy: 0.70,
+		Threads:             c.concThreads,
+		FragmentFrac:        0,
+	}
+}
+
+// InitialMarkPause implements gcmodel.Collector: a handshake.
+func (c *HTM) InitialMarkPause(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.MutatorThreads) * float64(16*machine.KB)
+	return c.costs.ParallelPause(s, work)
+}
+
+// RemarkPause implements gcmodel.Collector: the transactional flip — a
+// bounded handshake independent of heap size (the HTM design goal).
+func (c *HTM) RemarkPause(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.MutatorThreads) * float64(48*machine.KB)
+	return c.costs.ParallelPause(s, work)
+}
+
+// ConcurrentMarkSeconds implements gcmodel.Collector: marking plus
+// transactional relocation of the live old generation. Transaction
+// aborts add ~30% over plain traversal.
+func (c *HTM) ConcurrentMarkSeconds(s gcmodel.Snapshot) simtime.Duration {
+	work := float64(s.LiveOld) * (c.costs.Mark + c.costs.Compact) * 1.3
+	secs := c.mach.ParallelSeconds(work, c.concThreads)
+	return simtime.Seconds(secs)
+}
+
+// MixedPause implements gcmodel.Collector; HTM has no mixed collections.
+func (*HTM) MixedPause(gcmodel.Snapshot, machine.Bytes) simtime.Duration { return 0 }

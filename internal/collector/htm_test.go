@@ -1,0 +1,91 @@
+package collector
+
+import (
+	"testing"
+
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/machine"
+)
+
+func TestHTMRegistration(t *testing.T) {
+	names := ExperimentalNames()
+	if len(names) != 1 || names[0] != "HTM" {
+		t.Errorf("ExperimentalNames = %v", names)
+	}
+	// HTM is constructible by name but not part of the paper's six.
+	c, err := New("HTM", testConfig())
+	if err != nil || c.Name() != "HTM" {
+		t.Fatalf("New(HTM) = %v, %v", c, err)
+	}
+	for _, n := range Names() {
+		if n == "HTM" {
+			t.Error("HTM leaked into the paper's collector list")
+		}
+	}
+}
+
+func TestHTMPausesAreHandshakes(t *testing.T) {
+	cfg := testConfig()
+	htm := NewHTM(cfg)
+	cms := NewCMS(cfg)
+	s := snap(cfg)
+	s.LiveOld = 30 * machine.GB
+	s.OldUsed = 35 * machine.GB
+	s.HeapUsed = 40 * machine.GB
+
+	// Young pauses: two orders of magnitude below CMS's on the same
+	// volumes.
+	if h, c := htm.MinorPause(s), cms.MinorPause(s); h*20 > c {
+		t.Errorf("HTM minor %v not << CMS minor %v", h, c)
+	}
+	// Remark/flip pause independent of heap size.
+	small := snap(cfg)
+	big := s
+	hs, hb := htm.RemarkPause(small), htm.RemarkPause(big)
+	if hb > hs*2 {
+		t.Errorf("HTM flip pause scaled with heap: %v -> %v", hs, hb)
+	}
+	// But the concurrent cycle does real work proportional to live data.
+	if htm.ConcurrentMarkSeconds(big) <= htm.ConcurrentMarkSeconds(small) {
+		t.Error("HTM concurrent work not proportional to live data")
+	}
+}
+
+func TestHTMMutatorTaxHighest(t *testing.T) {
+	cfg := testConfig()
+	htm := NewHTM(cfg)
+	for _, c := range All(cfg) {
+		if htm.BarrierFactor() <= c.BarrierFactor() {
+			t.Errorf("HTM barrier %.3f not above %s's %.3f",
+				htm.BarrierFactor(), c.Name(), c.BarrierFactor())
+		}
+	}
+}
+
+func TestHTMConcurrentSpec(t *testing.T) {
+	htm := NewHTM(testConfig())
+	spec := htm.Concurrent()
+	if spec.Kind != gcmodel.CMSStyle {
+		t.Errorf("kind = %v", spec.Kind)
+	}
+	if spec.FragmentFrac != 0 {
+		t.Error("HTM compacts; it must not fragment")
+	}
+	if spec.InitiatingOccupancy <= 0 || spec.InitiatingOccupancy >= 1 {
+		t.Errorf("initiating occupancy %v", spec.InitiatingOccupancy)
+	}
+}
+
+func TestHTMFullFallbackParallel(t *testing.T) {
+	cfg := testConfig()
+	htm := NewHTM(cfg)
+	po := NewParallelOld(cfg)
+	s := snap(cfg)
+	s.LiveOld = 8 * machine.GB
+	s.HeapUsed = 10 * machine.GB
+	h, p := htm.FullPause(s), po.FullPause(s)
+	// The fallback is the same parallel compaction ParallelOld uses.
+	if h < p/2 || h > p*2 {
+		t.Errorf("HTM fallback %v far from ParallelOld %v", h, p)
+	}
+}

@@ -1,0 +1,186 @@
+package collector
+
+import (
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// stwBase implements the no-concurrent-machinery parts shared by the four
+// stop-the-world collectors.
+type stwBase struct{ base }
+
+func (stwBase) Concurrent() gcmodel.ConcurrentSpec {
+	return gcmodel.ConcurrentSpec{Kind: gcmodel.NoConcurrent}
+}
+
+func (stwBase) InitialMarkPause(gcmodel.Snapshot) simtime.Duration { return 0 }
+func (stwBase) RemarkPause(gcmodel.Snapshot) simtime.Duration      { return 0 }
+func (stwBase) ConcurrentMarkSeconds(gcmodel.Snapshot) simtime.Duration {
+	return 0
+}
+func (stwBase) MixedPause(gcmodel.Snapshot, machine.Bytes) simtime.Duration { return 0 }
+
+// Serial is the single-threaded collector: serial copying young
+// collections and serial mark-compact full collections. It needs no
+// synchronization, so its constant factors are the best — and its scaling
+// the worst.
+type Serial struct{ stwBase }
+
+// NewSerial constructs the Serial collector.
+func NewSerial(cfg Config) *Serial {
+	cfg = cfg.withDefaults()
+	return &Serial{stwBase{base{mach: cfg.Machine, costs: cfg.Costs, gcThreads: 1}}}
+}
+
+// Name implements gcmodel.Collector.
+func (*Serial) Name() string { return "Serial" }
+
+// Survivors implements gcmodel.Collector: fixed SurvivorRatio sizing.
+func (*Serial) Survivors() gcmodel.SurvivorPolicy { return gcmodel.FixedSurvivors }
+
+// TenuringThreshold implements gcmodel.Collector.
+func (*Serial) TenuringThreshold() int { return 15 }
+
+// ParallelYoung implements gcmodel.Collector.
+func (*Serial) ParallelYoung() bool { return false }
+
+// BarrierFactor implements gcmodel.Collector. Serial's uniprocessor
+// barriers are the cheapest of all collectors.
+func (*Serial) BarrierFactor() float64 { return 1.0 }
+
+// MinorPause implements gcmodel.Collector.
+func (c *Serial) MinorPause(s gcmodel.Snapshot) simtime.Duration {
+	work := c.costs.MinorWork(s, c.costs.PromoteBump)
+	return c.costs.SerialPause(s, work, s.Geo.Young)
+}
+
+// FullPause implements gcmodel.Collector: serial mark-compact over the
+// live heap.
+func (c *Serial) FullPause(s gcmodel.Snapshot) simtime.Duration {
+	return c.costs.SerialPause(s, c.costs.FullWork(s), s.HeapUsed)
+}
+
+// ParNew is CMS's parallel young collector used standalone: parallel
+// copying young collections with fixed survivor sizing and free-list
+// promotion (it shares CMS's promotion code path), plus a single-threaded
+// mark-compact full collection.
+type ParNew struct{ stwBase }
+
+// NewParNew constructs the ParNew collector.
+func NewParNew(cfg Config) *ParNew {
+	cfg = cfg.withDefaults()
+	return &ParNew{stwBase{base{mach: cfg.Machine, costs: cfg.Costs, gcThreads: cfg.GCThreads}}}
+}
+
+// Name implements gcmodel.Collector.
+func (*ParNew) Name() string { return "ParNew" }
+
+// Survivors implements gcmodel.Collector: fixed sizing — survivor
+// overflow promotes prematurely (Table 3 anomaly mechanism).
+func (*ParNew) Survivors() gcmodel.SurvivorPolicy { return gcmodel.FixedSurvivors }
+
+// TenuringThreshold implements gcmodel.Collector. ParNew uses CMS's
+// default threshold.
+func (*ParNew) TenuringThreshold() int { return 6 }
+
+// ParallelYoung implements gcmodel.Collector.
+func (*ParNew) ParallelYoung() bool { return true }
+
+// BarrierFactor implements gcmodel.Collector.
+func (*ParNew) BarrierFactor() float64 { return 1.005 }
+
+// MinorPause implements gcmodel.Collector: parallel copy, free-list
+// promotion.
+func (c *ParNew) MinorPause(s gcmodel.Snapshot) simtime.Duration {
+	work := c.costs.MinorWork(s, c.costs.PromoteFreeList)
+	return c.costs.ParallelPause(s, work)
+}
+
+// FullPause implements gcmodel.Collector: single-threaded mark-compact.
+func (c *ParNew) FullPause(s gcmodel.Snapshot) simtime.Duration {
+	return c.costs.SerialPause(s, c.costs.FullWork(s), s.HeapUsed)
+}
+
+// Parallel is the throughput collector without parallel compaction:
+// parallel young collections with adaptive sizing and bump promotion, but
+// single-threaded full collections ("its full collections are serial",
+// §3.3).
+type Parallel struct{ stwBase }
+
+// NewParallel constructs the Parallel collector.
+func NewParallel(cfg Config) *Parallel {
+	cfg = cfg.withDefaults()
+	return &Parallel{stwBase{base{mach: cfg.Machine, costs: cfg.Costs, gcThreads: cfg.GCThreads}}}
+}
+
+// Name implements gcmodel.Collector.
+func (*Parallel) Name() string { return "Parallel" }
+
+// Survivors implements gcmodel.Collector: the adaptive size policy grows
+// survivors to fit.
+func (*Parallel) Survivors() gcmodel.SurvivorPolicy { return gcmodel.AdaptiveSurvivors }
+
+// TenuringThreshold implements gcmodel.Collector: the adaptive size
+// policy settles at a low threshold under survivor pressure, promoting
+// long-lived data early instead of recirculating it through the survivor
+// spaces.
+func (*Parallel) TenuringThreshold() int { return 4 }
+
+// ParallelYoung implements gcmodel.Collector.
+func (*Parallel) ParallelYoung() bool { return true }
+
+// BarrierFactor implements gcmodel.Collector.
+func (*Parallel) BarrierFactor() float64 { return 1.005 }
+
+// MinorPause implements gcmodel.Collector.
+func (c *Parallel) MinorPause(s gcmodel.Snapshot) simtime.Duration {
+	work := c.costs.MinorWork(s, c.costs.PromoteBump)
+	return c.costs.ParallelPause(s, work)
+}
+
+// FullPause implements gcmodel.Collector: single-threaded mark-compact.
+func (c *Parallel) FullPause(s gcmodel.Snapshot) simtime.Duration {
+	return c.costs.SerialPause(s, c.costs.FullWork(s), s.HeapUsed)
+}
+
+// ParallelOld is OpenJDK 8's default collector: Parallel's young
+// collections plus a parallel compacting full collection. Its adaptive
+// sizing makes it "behave as expected" in the paper's heap/young sweeps,
+// and its parallel-but-Amdahl-limited full compaction is what turns into
+// a 4-minute pause on the saturated 64 GB Cassandra heap.
+type ParallelOld struct{ stwBase }
+
+// NewParallelOld constructs the ParallelOld collector.
+func NewParallelOld(cfg Config) *ParallelOld {
+	cfg = cfg.withDefaults()
+	return &ParallelOld{stwBase{base{mach: cfg.Machine, costs: cfg.Costs, gcThreads: cfg.GCThreads}}}
+}
+
+// Name implements gcmodel.Collector.
+func (*ParallelOld) Name() string { return "ParallelOld" }
+
+// Survivors implements gcmodel.Collector.
+func (*ParallelOld) Survivors() gcmodel.SurvivorPolicy { return gcmodel.AdaptiveSurvivors }
+
+// TenuringThreshold implements gcmodel.Collector: adaptive, like
+// Parallel (see there).
+func (*ParallelOld) TenuringThreshold() int { return 4 }
+
+// ParallelYoung implements gcmodel.Collector.
+func (*ParallelOld) ParallelYoung() bool { return true }
+
+// BarrierFactor implements gcmodel.Collector.
+func (*ParallelOld) BarrierFactor() float64 { return 1.005 }
+
+// MinorPause implements gcmodel.Collector.
+func (c *ParallelOld) MinorPause(s gcmodel.Snapshot) simtime.Duration {
+	work := c.costs.MinorWork(s, c.costs.PromoteBump)
+	return c.costs.ParallelPause(s, work)
+}
+
+// FullPause implements gcmodel.Collector: parallel compaction, limited by
+// its serial summary phase (FullParallelFrac).
+func (c *ParallelOld) FullPause(s gcmodel.Snapshot) simtime.Duration {
+	return c.costs.MixedParallelPause(s, c.costs.FullWork(s), c.costs.FullParallelFrac, s.HeapUsed)
+}

@@ -1,0 +1,118 @@
+package core
+
+import "testing"
+
+// TestCalibrationBands pins the headline magnitudes of the reproduction
+// inside interpretable bands. The golden-file test catches ANY drift;
+// this test explains WHICH paper-facing quantity moved and what range it
+// must stay in (the ranges come from EXPERIMENTS.md's shape criteria).
+func TestCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short mode")
+	}
+	lab := QuickLab(42)
+
+	t.Run("Figure1a-G1-pauses", func(t *testing.T) {
+		series, err := lab.FigurePauseScatter("xalan", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range series {
+			switch s.Collector {
+			case "G1":
+				// Paper: G1's forced fulls produce second-scale pauses.
+				if s.MaxPause() < 0.4 || s.MaxPause() > 2.5 {
+					t.Errorf("G1 max pause %.2fs outside [0.4, 2.5]", s.MaxPause())
+				}
+			case "ParallelOld":
+				// Paper: the default collector's pauses stay well under a
+				// second on DaCapo.
+				if s.MaxPause() > 0.5 {
+					t.Errorf("ParallelOld max pause %.2fs > 0.5", s.MaxPause())
+				}
+			}
+		}
+	})
+
+	t.Run("Table3-inversion-magnitude", func(t *testing.T) {
+		cms, err := lab.TableHeapYoungSweep("h2", "CMS", Table3Cases())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := cms.Rows[0].AvgPauseS / cms.Rows[3].AvgPauseS
+		// Paper: 1.33/0.36 ≈ 3.7x; the reproduction must stay in the
+		// "clear inversion" band.
+		if ratio < 1.8 || ratio > 6 {
+			t.Errorf("CMS inversion ratio %.2f outside [1.8, 6]", ratio)
+		}
+		// Absolute scale: the 6GB-young average pause is around a second.
+		if cms.Rows[0].AvgPauseS < 0.5 || cms.Rows[0].AvgPauseS > 2.5 {
+			t.Errorf("64G-6G avg pause %.2fs outside [0.5, 2.5]", cms.Rows[0].AvgPauseS)
+		}
+	})
+
+	t.Run("Cassandra-magnitudes", func(t *testing.T) {
+		study, err := lab.ServerPauseStudy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range study.Rows {
+			switch {
+			case r.Collector == "ParallelOld" && r.Configuration == "stress":
+				// Paper: a minutes-scale full collection.
+				if r.MaxFullS < 45 || r.MaxFullS > 400 {
+					t.Errorf("ParallelOld stress full GC %.0fs outside [45, 400]", r.MaxFullS)
+				}
+				// Paper: young pauses in the tens of seconds.
+				if r.MaxYoungS < 5 || r.MaxYoungS > 40 {
+					t.Errorf("ParallelOld stress young peak %.1fs outside [5, 40]", r.MaxYoungS)
+				}
+			case r.Collector == "CMS":
+				// Paper: seconds, bounded by ~4.
+				if r.MaxYoungS < 1 || r.MaxYoungS > 4.5 {
+					t.Errorf("CMS stress max pause %.2fs outside [1, 4.5]", r.MaxYoungS)
+				}
+			case r.Collector == "G1":
+				if r.MaxYoungS < 0.8 || r.MaxYoungS > 4.5 {
+					t.Errorf("G1 stress max pause %.2fs outside [0.8, 4.5]", r.MaxYoungS)
+				}
+			}
+		}
+	})
+
+	t.Run("Client-band-structure", func(t *testing.T) {
+		exp, err := lab.ClientLatencyStudy("ParallelOld")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: update averages ~1ms, maxima hundreds of ms, the exact
+		// 0%/100% GC-coverage band structure.
+		if exp.Update.AvgMS < 0.8 || exp.Update.AvgMS > 2.0 {
+			t.Errorf("update avg %.2fms outside [0.8, 2.0]", exp.Update.AvgMS)
+		}
+		if exp.Update.MaxMS < 100 || exp.Update.MaxMS > 1000 {
+			t.Errorf("update max %.0fms outside [100, 1000]", exp.Update.MaxMS)
+		}
+		if exp.Update.Normal.GCs != 0 {
+			t.Errorf("normal-band GC coverage %.1f%% != 0", exp.Update.Normal.GCs)
+		}
+		if len(exp.Update.Above) == 0 || exp.Update.Above[0].GCs < 99 {
+			t.Errorf(">2x band GC coverage = %+v, want ~100%%", exp.Update.Above)
+		}
+	})
+
+	t.Run("SimulatedRealtimeRatio", func(t *testing.T) {
+		// The laboratory's practicality claim: the full 2h stress run's
+		// log holds thousands of events at most (cohort aggregation keeps
+		// it byte-level, not object-level).
+		study, err := lab.ServerPauseStudy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gc, res := range study.StressResults {
+			if n := len(res.Log.Events()); n > 20000 {
+				t.Errorf("%s: %d log events for a 2h run; event volume regressed", gc, n)
+			}
+		}
+	})
+}

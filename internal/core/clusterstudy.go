@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/cluster"
+	"jvmgc/internal/simtime"
+)
+
+// ClusterStudy runs the distributed extension of the paper's §4: a
+// three-node ring under each of the main collectors (plus HTM), asking
+// how much of the single-node pause problem replication actually hides
+// from clients — and how often the ring's failure detector fires.
+type ClusterStudy struct {
+	Results []cluster.Result
+}
+
+// ClusterStudyAll runs the ring for ParallelOld, CMS, G1 and HTM with the
+// stress-test node configuration.
+func (l *Lab) ClusterStudyAll() (ClusterStudy, error) {
+	var out ClusterStudy
+	collectors := append(append([]string(nil), MainGCNames()...), "HTM")
+	results := make([]cluster.Result, len(collectors))
+	err := l.forEach(len(collectors), func(i int) error {
+		node := cassandra.StressConfig(collectors[i], simtime.Seconds(l.ClientDuration))
+		node.Machine = l.Machine
+		res, err := cluster.Run(cluster.Config{
+			Nodes:             3,
+			ReplicationFactor: 3,
+			Node:              node,
+			ClientOpsPerSec:   120,
+			Seed:              l.Seed + 800,
+		})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Results = results
+	return out, nil
+}
+
+// Render prints the cross-collector comparison at QUORUM plus the
+// per-collector level breakdown.
+func (s ClusterStudy) Render() string {
+	var b strings.Builder
+	b.WriteString("Cluster extension: 3-node ring, RF=3 — client view of server GC\n\n")
+	header := []string{"GC", "QUORUM avg (ms)", "QUORUM max (ms)", "ALL max (ms)", "Ring suspicions"}
+	var rows [][]string
+	for _, r := range s.Results {
+		q := r.PerLevel[cluster.Quorum]
+		a := r.PerLevel[cluster.All]
+		rows = append(rows, []string{
+			r.Config.Node.CollectorName,
+			fmt.Sprintf("%.3f", q.AvgMS),
+			fmt.Sprintf("%.1f", q.MaxMS),
+			fmt.Sprintf("%.1f", a.MaxMS),
+			fmt.Sprintf("%d", r.SuspicionsTotal),
+		})
+	}
+	b.WriteString(renderTable(header, rows))
+	b.WriteString("\n")
+	for _, r := range s.Results {
+		b.WriteString(r.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Find returns the result for one collector.
+func (s ClusterStudy) Find(gc string) (cluster.Result, error) {
+	for _, r := range s.Results {
+		if r.Config.Node.CollectorName == gc {
+			return r, nil
+		}
+	}
+	return cluster.Result{}, fmt.Errorf("core: no cluster result for %s", gc)
+}

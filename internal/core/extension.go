@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/simtime"
+)
+
+// ExtensionRow is one collector's entry in the HTM extension study.
+type ExtensionRow struct {
+	Collector string
+	// Cassandra stress run.
+	ServerMaxPauseS   float64
+	ServerTotalPauseS float64
+	ServerFullGCs     int
+	// DaCapo throughput (xalan, no forced GCs).
+	XalanTotalS float64
+}
+
+// ExtensionStudy is the evaluation the paper's §6 announces as future
+// work: "implement and thoroughly test a garbage collector that uses
+// HTM … repeat this evaluation … and compare the new approach to the
+// current available GCs." It runs the experimental HTM collector through
+// both of the paper's environments next to the three main collectors.
+type ExtensionStudy struct {
+	Rows []ExtensionRow
+}
+
+// ExtensionHTMStudy runs the §6 follow-up: ParallelOld, CMS, G1 and HTM
+// on the Cassandra stress configuration (pause behaviour) and on xalan
+// without forced collections (throughput tax).
+func (l *Lab) ExtensionHTMStudy() (ExtensionStudy, error) {
+	var out ExtensionStudy
+	collectors := append(append([]string(nil), MainGCNames()...), "HTM")
+	b, err := dacapo.ByName("xalan")
+	if err != nil {
+		return out, err
+	}
+	for _, gc := range collectors {
+		row := ExtensionRow{Collector: gc}
+
+		srvCfg := cassandra.StressConfig(gc, simtime.Seconds(l.ClientDuration))
+		srvCfg.Machine = l.Machine
+		srvCfg.Seed = l.Seed + 500
+		srv, err := cassandra.Run(srvCfg)
+		if err != nil {
+			return out, err
+		}
+		row.ServerMaxPauseS = srv.Log.MaxPause().Seconds()
+		row.ServerTotalPauseS = srv.Log.TotalPause().Seconds()
+		_, row.ServerFullGCs = srv.Log.CountPauses()
+
+		benchCfg := dacapo.BaselineConfig(b)
+		benchCfg.Machine = l.Machine
+		benchCfg.CollectorName = gc
+		benchCfg.SystemGC = false
+		benchCfg.Seed = l.Seed + 501
+		res, err := dacapo.Run(benchCfg)
+		if err != nil {
+			return out, err
+		}
+		row.XalanTotalS = res.Total.Seconds()
+
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Find returns a collector's row.
+func (s ExtensionStudy) Find(gc string) (ExtensionRow, error) {
+	for _, r := range s.Rows {
+		if r.Collector == gc {
+			return r, nil
+		}
+	}
+	return ExtensionRow{}, fmt.Errorf("core: no extension row for %s", gc)
+}
+
+// Render prints the study.
+func (s ExtensionStudy) Render() string {
+	header := []string{"GC", "Server max pause (s)", "Server total pause (s)", "Server full GCs", "xalan total (s)"}
+	var rows [][]string
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			r.Collector,
+			fmt.Sprintf("%.3f", r.ServerMaxPauseS),
+			fmt.Sprintf("%.1f", r.ServerTotalPauseS),
+			fmt.Sprintf("%d", r.ServerFullGCs),
+			fmt.Sprintf("%.2f", r.XalanTotalS),
+		})
+	}
+	return "Extension (paper §6 future work): HTM-based concurrent collection vs the main GCs\n" +
+		renderTable(header, rows) +
+		"HTM trades a continuous mutator tax (transactional tracking) for handshake-scale pauses.\n"
+}

@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+func TestExtensionHTMStudy(t *testing.T) {
+	lab := QuickLab(42)
+	study, err := lab.ExtensionHTMStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Rows) != 4 {
+		t.Fatalf("rows = %d", len(study.Rows))
+	}
+	htm, err := study.Find("HTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, _ := study.Find("ParallelOld")
+	cms, _ := study.Find("CMS")
+
+	// The HTM promise: handshake-scale worst pauses, far below even CMS.
+	if htm.ServerMaxPauseS > cms.ServerMaxPauseS/4 {
+		t.Errorf("HTM max pause %.3fs not << CMS %.3fs", htm.ServerMaxPauseS, cms.ServerMaxPauseS)
+	}
+	if htm.ServerMaxPauseS > 0.2 {
+		t.Errorf("HTM max pause %.3fs, want handshake scale", htm.ServerMaxPauseS)
+	}
+	if htm.ServerFullGCs != 0 {
+		t.Errorf("HTM fell back to %d full GCs", htm.ServerFullGCs)
+	}
+	// The HTM price: worse throughput than ParallelOld (the ~12%%
+	// transactional barrier tax, partly offset by the pauses it avoids
+	// and blurred by per-run noise; deterministic at this seed).
+	if htm.XalanTotalS <= po.XalanTotalS {
+		t.Errorf("HTM xalan %.2fs not slower than ParallelOld %.2fs", htm.XalanTotalS, po.XalanTotalS)
+	}
+	if _, err := study.Find("ZGC"); err == nil {
+		t.Error("unknown row lookup succeeded")
+	}
+	if s := study.Render(); len(s) == 0 {
+		t.Error("empty render")
+	}
+}

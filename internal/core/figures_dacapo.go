@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/gclog"
+)
+
+// PausePoint is one point of Figure 1: a stop-the-world pause at a given
+// execution-time offset.
+type PausePoint struct {
+	AtSeconds    float64 // execution time when the pause started
+	PauseSeconds float64
+	Kind         gclog.Kind
+}
+
+// PauseSeries is one collector's scatter of Figure 1.
+type PauseSeries struct {
+	Collector    string
+	Points       []PausePoint
+	TotalSeconds float64 // total execution time of the run
+}
+
+// FigurePauseScatter reproduces Figure 1: per collector, every
+// application pause of one benchmark run plotted against execution time,
+// with or without a forced system GC between iterations. The paper uses
+// xalan; any benchmark name works.
+func (l *Lab) FigurePauseScatter(bench string, systemGC bool) ([]PauseSeries, error) {
+	b, err := dacapo.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	var out []PauseSeries
+	for _, gc := range GCNames() {
+		cfg := dacapo.BaselineConfig(b)
+		cfg.Machine = l.Machine
+		cfg.CollectorName = gc
+		cfg.SystemGC = systemGC
+		cfg.Seed = l.Seed
+		res, err := dacapo.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := PauseSeries{Collector: gc, TotalSeconds: res.Total.Seconds()}
+		for _, e := range res.Log.Pauses() {
+			s.Points = append(s.Points, PausePoint{
+				AtSeconds:    e.Start.Seconds(),
+				PauseSeconds: e.Duration.Seconds(),
+				Kind:         e.Kind,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MaxPause returns the series' largest pause in seconds.
+func (s PauseSeries) MaxPause() float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.PauseSeconds > max {
+			max = p.PauseSeconds
+		}
+	}
+	return max
+}
+
+// RenderPauseScatter prints the Figure 1 data as one block per collector,
+// each line an (execution time, pause) pair — the series a plotting tool
+// consumes directly.
+func RenderPauseScatter(series []PauseSeries, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "# %s (total %.2fs, %d pauses, max %.3fs)\n",
+			s.Collector, s.TotalSeconds, len(s.Points), s.MaxPause())
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%.3f %.4f\n", p.AtSeconds, p.PauseSeconds)
+		}
+	}
+	return b.String()
+}
+
+// IterationSeries is one collector's Figure 2 line: per-iteration
+// execution times.
+type IterationSeries struct {
+	Collector string
+	// Seconds holds every iteration's duration; the paper plots
+	// iterations 4–10.
+	Seconds []float64
+}
+
+// FigureIterationTimes reproduces Figure 2: per-iteration execution time
+// for one benchmark under every collector.
+func (l *Lab) FigureIterationTimes(bench string, systemGC bool) ([]IterationSeries, error) {
+	b, err := dacapo.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	var out []IterationSeries
+	for _, gc := range GCNames() {
+		cfg := dacapo.BaselineConfig(b)
+		cfg.Machine = l.Machine
+		cfg.CollectorName = gc
+		cfg.SystemGC = systemGC
+		cfg.Seed = l.Seed
+		res, err := dacapo.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := IterationSeries{Collector: gc}
+		for _, d := range res.Iterations {
+			s.Seconds = append(s.Seconds, d.Seconds())
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Final returns the last iteration's duration (the measured run).
+func (s IterationSeries) Final() float64 {
+	if len(s.Seconds) == 0 {
+		return 0
+	}
+	return s.Seconds[len(s.Seconds)-1]
+}
+
+// RenderIterationTimes prints Figure 2 as a table: one row per iteration
+// (4–10), one column per collector.
+func RenderIterationTimes(series []IterationSeries, title string) string {
+	header := []string{"Iteration"}
+	for _, s := range series {
+		header = append(header, s.Collector)
+	}
+	var rows [][]string
+	n := 0
+	if len(series) > 0 {
+		n = len(series[0].Seconds)
+	}
+	for it := 3; it < n; it++ {
+		row := []string{fmt.Sprintf("%d", it+1)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.3fs", s.Seconds[it]))
+		}
+		rows = append(rows, row)
+	}
+	return title + "\n" + renderTable(header, rows)
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden pins the full rendered evaluation at seed 42. The
+// laboratory is deterministic, so any diff against the golden file is a
+// real behaviour change — calibration drift, a model edit, a rendering
+// change — and must be reviewed (and, if intended, committed via
+// `go test ./internal/core -run TestReportGolden -update`).
+func TestReportGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in -short mode")
+	}
+	lab := NewLab(42)
+	rep, err := lab.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Render()
+
+	path := filepath.Join("testdata", "report.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		// Find the first diverging line for a readable failure.
+		gl, wl := splitLines(got), splitLines(string(want))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("report diverged from golden at line %d:\n got: %q\nwant: %q\n(rerun with -update if intended)",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("report length changed: got %d lines, want %d (rerun with -update if intended)",
+			len(gl), len(wl))
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

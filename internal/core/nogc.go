@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/machine"
+)
+
+// NoGCStatistics reproduces the paper's §3.3 "GC statistics" observation:
+// on configurations where no collection ever happens (batik on big
+// heaps), the Serial collector — which "should" win because it has no
+// synchronization — gives the best execution time in fewer than a
+// quarter of the experiments. With no collections, collectors differ
+// only by their mutator-side overheads, which sit inside the noise, so
+// each of the six wins about one experiment in six. The paper's 4-of-18
+// is exactly that expectation.
+type NoGCStatistics struct {
+	Experiments  int
+	NoGCCount    int // experiments in which no collector paused at all
+	SerialWins   int // of the no-GC experiments, how many Serial won
+	WinsByGC     map[string]int
+	SerialWinPct float64
+}
+
+// NoGCStatisticsStudy runs batik (the paper's example of a benchmark
+// that never collects at baseline) over an 18-cell heap/young grid under
+// all six collectors and counts Serial's wins among the pause-free
+// experiments.
+func (l *Lab) NoGCStatisticsStudy() (NoGCStatistics, error) {
+	out := NoGCStatistics{WinsByGC: map[string]int{}}
+	b, err := dacapo.ByName("batik")
+	if err != nil {
+		return out, err
+	}
+	heaps := []machine.Bytes{16 * machine.GB, 24 * machine.GB, 32 * machine.GB,
+		48 * machine.GB, 56 * machine.GB, 64 * machine.GB}
+	youngFracs := []int{6, 4, 2} // young = heap/6, heap/4, heap/2
+
+	type cell struct {
+		best     string
+		allQuiet bool
+	}
+	cells := make([]cell, len(heaps)*len(youngFracs))
+	err = l.forEach(len(cells), func(i int) error {
+		h := heaps[i/len(youngFracs)]
+		y := h / machine.Bytes(youngFracs[i%len(youngFracs)])
+		best := ""
+		bestTotal := 0.0
+		quiet := true
+		for _, gc := range GCNames() {
+			cfg := dacapo.BaselineConfig(b)
+			cfg.Machine = l.Machine
+			cfg.CollectorName = gc
+			cfg.Heap = h
+			cfg.Young = y
+			cfg.YoungExplicit = true
+			cfg.SystemGC = false
+			cfg.Seed = l.Seed + uint64(i)*2741
+			res, err := dacapo.Run(cfg)
+			if err != nil {
+				return err
+			}
+			if p, _ := res.Log.CountPauses(); p > 0 {
+				quiet = false
+			}
+			if best == "" || res.Total.Seconds() < bestTotal {
+				best = gc
+				bestTotal = res.Total.Seconds()
+			}
+		}
+		cells[i] = cell{best: best, allQuiet: quiet}
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, c := range cells {
+		out.Experiments++
+		if !c.allQuiet {
+			continue
+		}
+		out.NoGCCount++
+		out.WinsByGC[c.best]++
+		if c.best == "Serial" {
+			out.SerialWins++
+		}
+	}
+	if out.NoGCCount > 0 {
+		out.SerialWinPct = 100 * float64(out.SerialWins) / float64(out.NoGCCount)
+	}
+	return out, nil
+}
+
+// Render prints the study.
+func (s NoGCStatistics) Render() string {
+	header := []string{"GC", "Wins among no-GC experiments"}
+	var rows [][]string
+	for _, gc := range GCNames() {
+		rows = append(rows, []string{gc, fmt.Sprintf("%d", s.WinsByGC[gc])})
+	}
+	return fmt.Sprintf("GC statistics (§3.3): %d of %d experiments ran without any collection;\n"+
+		"Serial won %d of them (%.0f%%) — the paper's 4-of-18, i.e. pure noise.\n",
+		s.NoGCCount, s.Experiments, s.SerialWins, s.SerialWinPct) +
+		renderTable(header, rows)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	lab := QuickLab(1)
+	var count int64
+	seen := make([]bool, 100)
+	err := lab.forEach(100, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		seen[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d of 100", count)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+}
+
+func TestForEachErrorSelection(t *testing.T) {
+	// The first error in INDEX order is returned, regardless of
+	// completion order.
+	lab := QuickLab(1)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := lab.forEach(50, func(i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 30:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Errorf("err = %v, want index-7 error", err)
+	}
+}
+
+func TestForEachSerialPath(t *testing.T) {
+	lab := QuickLab(1)
+	lab.Parallelism = 1
+	order := []int{}
+	err := lab.forEach(10, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+	// Serial path stops at the first error.
+	ran := 0
+	lab.forEach(10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if ran != 4 {
+		t.Errorf("serial path ran %d after error", ran)
+	}
+}
+
+func TestForEachZero(t *testing.T) {
+	lab := QuickLab(1)
+	if err := lab.forEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("n=0 returned error")
+	}
+}
+
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	serial := QuickLab(9)
+	serial.Parallelism = 1
+	wide := QuickLab(9)
+	wide.Parallelism = 8
+	a, err := serial.FigureRanking(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wide.FigureRanking(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Experiments != b.Experiments {
+		t.Fatalf("experiment counts differ")
+	}
+	for gc, w := range a.Wins {
+		if b.Wins[gc] != w {
+			t.Errorf("%s wins: serial %d vs parallel %d", gc, w, b.Wins[gc])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/simtime"
+)
+
+// PauseTargetRow is one -XX:MaxGCPauseMillis setting's outcome.
+type PauseTargetRow struct {
+	TargetMS    int
+	MaxPauseS   float64
+	TotalPauseS float64
+	Pauses      int
+	// OpsCompleted measures throughput over the fixed-duration run.
+	OpsCompleted int64
+}
+
+// PauseTargetSweep explores G1's central tuning knob on the Cassandra
+// stress workload: a tighter pause goal shrinks the young generation,
+// trading more frequent (and more total) collection work for shorter
+// worst-case pauses. The paper evaluates G1 only at its default goal;
+// this sweep maps the frontier the goal moves along.
+type PauseTargetSweep struct {
+	Rows []PauseTargetRow
+}
+
+// G1PauseTargetSweep runs the Cassandra stress configuration under G1
+// with a range of pause goals.
+func (l *Lab) G1PauseTargetSweep(targetsMS []int) (PauseTargetSweep, error) {
+	if len(targetsMS) == 0 {
+		targetsMS = []int{50, 100, 200, 500, 1000}
+	}
+	var out PauseTargetSweep
+	rows := make([]PauseTargetRow, len(targetsMS))
+	err := l.forEach(len(targetsMS), func(i int) error {
+		cfg := cassandra.StressConfig("G1", simtime.Seconds(l.ClientDuration))
+		cfg.Machine = l.Machine
+		cfg.G1PauseTarget = simtime.Duration(targetsMS[i]) * simtime.Millisecond
+		cfg.Seed = l.Seed + 700
+		res, err := cassandra.Run(cfg)
+		if err != nil {
+			return err
+		}
+		p, _ := res.Log.CountPauses()
+		rows[i] = PauseTargetRow{
+			TargetMS:     targetsMS[i],
+			MaxPauseS:    res.Log.MaxPause().Seconds(),
+			TotalPauseS:  res.Log.TotalPause().Seconds(),
+			Pauses:       p,
+			OpsCompleted: res.OpsCompleted,
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Rows = rows
+	return out, nil
+}
+
+// Render prints the sweep.
+func (s PauseTargetSweep) Render() string {
+	header := []string{"MaxGCPauseMillis", "Pauses", "Max pause (s)", "Total pause (s)", "Ops completed"}
+	var rows [][]string
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.TargetMS), fmt.Sprintf("%d", r.Pauses),
+			fmt.Sprintf("%.3f", r.MaxPauseS), fmt.Sprintf("%.1f", r.TotalPauseS),
+			fmt.Sprintf("%d", r.OpsCompleted),
+		})
+	}
+	return "G1 pause-target sweep (Cassandra stress): the latency/throughput frontier\n" +
+		renderTable(header, rows)
+}

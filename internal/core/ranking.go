@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/machine"
+)
+
+// RankingResult reproduces Figure 3: the percentage of experiments in
+// which each collector produced the best (shortest) total execution time.
+type RankingResult struct {
+	SystemGC bool
+	// Wins maps collector name to the number of experiments won.
+	Wins map[string]int
+	// Experiments is the total experiment count.
+	Experiments int
+}
+
+// rankingGrid returns the heap/young grid of the ranking study: heap from
+// the baseline up to the machine's RAM, young from the baseline up to the
+// heap (§3.1, §3.5).
+func rankingGrid(ram machine.Bytes) []SweepCase {
+	heaps := []machine.Bytes{dacapo.BaselineHeap, 32 * machine.GB, ram}
+	var out []SweepCase
+	for _, h := range heaps {
+		youngs := []machine.Bytes{dacapo.BaselineYoung, h / 4, h / 2}
+		seen := map[machine.Bytes]bool{}
+		for _, y := range youngs {
+			if y <= 0 || y > h || seen[y] {
+				continue
+			}
+			seen[y] = true
+			out = append(out, SweepCase{Heap: h, Young: y, SizeFactor: 1})
+		}
+	}
+	return out
+}
+
+// FigureRanking runs the full grid — every stable benchmark × heap size ×
+// young size — under all six collectors and counts, per collector, the
+// experiments it won. The grid cells are independent simulations and run
+// on a worker pool.
+func (l *Lab) FigureRanking(systemGC bool) (RankingResult, error) {
+	out := RankingResult{SystemGC: systemGC, Wins: map[string]int{}}
+	grid := rankingGrid(l.Machine.Topo.RAM)
+	benches := dacapo.StableSubset()
+	winners := make([]string, len(benches)*len(grid))
+	err := l.forEach(len(winners), func(i int) error {
+		b := benches[i/len(grid)]
+		gi := i % len(grid)
+		c := grid[gi]
+		best := ""
+		bestTotal := 0.0
+		for _, gc := range GCNames() {
+			cfg := dacapo.BaselineConfig(b)
+			cfg.Machine = l.Machine
+			cfg.CollectorName = gc
+			cfg.Heap = c.Heap
+			cfg.Young = c.Young
+			cfg.YoungExplicit = true
+			cfg.SystemGC = systemGC
+			cfg.Seed = l.Seed + uint64(gi)*104729
+			res, err := dacapo.Run(cfg)
+			if err != nil {
+				return err
+			}
+			if best == "" || res.Total.Seconds() < bestTotal {
+				best = gc
+				bestTotal = res.Total.Seconds()
+			}
+		}
+		winners[i] = best
+		return nil
+	})
+	if err != nil {
+		return RankingResult{}, err
+	}
+	for _, w := range winners {
+		out.Wins[w]++
+		out.Experiments++
+	}
+	return out, nil
+}
+
+// Percent returns a collector's share of won experiments.
+func (r RankingResult) Percent(gc string) float64 {
+	if r.Experiments == 0 {
+		return 0
+	}
+	return 100 * float64(r.Wins[gc]) / float64(r.Experiments)
+}
+
+// Order returns the collectors sorted by wins, descending (the order of
+// the bars in Figure 3).
+func (r RankingResult) Order() []string {
+	names := append([]string(nil), GCNames()...)
+	sort.SliceStable(names, func(i, j int) bool {
+		return r.Wins[names[i]] > r.Wins[names[j]]
+	})
+	return names
+}
+
+// Render prints the ranking as the Figure 3 bar data.
+func (r RankingResult) Render() string {
+	title := "Figure 3a: GC ranking (system GC between iterations)"
+	if !r.SystemGC {
+		title = "Figure 3b: GC ranking (no system GC)"
+	}
+	header := []string{"GC", "Wins", "% of experiments"}
+	var rows [][]string
+	for _, gc := range r.Order() {
+		rows = append(rows, []string{gc, fmt.Sprintf("%d", r.Wins[gc]),
+			fmt.Sprintf("%.1f", r.Percent(gc))})
+	}
+	return title + fmt.Sprintf(" — %d experiments\n", r.Experiments) + renderTable(header, rows)
+}

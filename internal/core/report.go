@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the complete reproduced evaluation: every table and figure of
+// the paper.
+type Report struct {
+	Stability StabilityTable
+
+	Fig1a []PauseSeries // xalan pause scatter, system GC
+	Fig1b []PauseSeries // xalan pause scatter, no system GC
+	Fig2a []IterationSeries
+	Fig2b []IterationSeries
+
+	Table3CMS SweepTable
+	Table3PO  SweepTable // the "behaved as expected" control
+
+	Table4 TLABTable
+
+	Fig3a RankingResult
+	Fig3b RankingResult
+
+	Server ServerStudy // §4.1 rows + Figure 4
+
+	Client []ClientExperiment // Figure 5 + Tables 5–7
+}
+
+// RunAll executes the complete evaluation. It is deterministic in the
+// Lab's seed. With NewLab dimensions it covers the paper's full grid;
+// QuickLab shrinks repetitions and the client phase.
+func (l *Lab) RunAll() (Report, error) {
+	var r Report
+	var err error
+
+	r.Stability = l.TableStability()
+
+	if r.Fig1a, err = l.FigurePauseScatter("xalan", true); err != nil {
+		return r, fmt.Errorf("figure 1a: %w", err)
+	}
+	if r.Fig1b, err = l.FigurePauseScatter("xalan", false); err != nil {
+		return r, fmt.Errorf("figure 1b: %w", err)
+	}
+	if r.Fig2a, err = l.FigureIterationTimes("xalan", true); err != nil {
+		return r, fmt.Errorf("figure 2a: %w", err)
+	}
+	if r.Fig2b, err = l.FigureIterationTimes("xalan", false); err != nil {
+		return r, fmt.Errorf("figure 2b: %w", err)
+	}
+
+	if r.Table3CMS, err = l.TableHeapYoungSweep("h2", "CMS", Table3Cases()); err != nil {
+		return r, fmt.Errorf("table 3 (CMS): %w", err)
+	}
+	if r.Table3PO, err = l.TableHeapYoungSweep("h2", "ParallelOld", Table3Cases()); err != nil {
+		return r, fmt.Errorf("table 3 (ParallelOld): %w", err)
+	}
+
+	if r.Table4, err = l.TableTLAB(); err != nil {
+		return r, fmt.Errorf("table 4: %w", err)
+	}
+
+	if r.Fig3a, err = l.FigureRanking(true); err != nil {
+		return r, fmt.Errorf("figure 3a: %w", err)
+	}
+	if r.Fig3b, err = l.FigureRanking(false); err != nil {
+		return r, fmt.Errorf("figure 3b: %w", err)
+	}
+
+	if r.Server, err = l.ServerPauseStudy(); err != nil {
+		return r, fmt.Errorf("server study: %w", err)
+	}
+
+	if r.Client, err = l.ClientLatencyStudyAll(); err != nil {
+		return r, fmt.Errorf("client study: %w", err)
+	}
+	return r, nil
+}
+
+// Verdicts derives Table 8 from the report.
+func (r Report) Verdicts() VerdictTable {
+	return TableVerdicts(r.Fig3a, r.Fig2a, r.Server)
+}
+
+// Render prints the whole evaluation in reading order. Figure scatter
+// data is summarized (per-series counts and maxima) rather than dumped;
+// the dedicated Render*/cmd paths emit full series.
+func (r Report) Render() string {
+	var b strings.Builder
+	section := func(s string) {
+		b.WriteString(s)
+		if !strings.HasSuffix(s, "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	section(r.Stability.Render())
+	section(summarizePauseSeries(r.Fig1a, "Figure 1a: xalan pause scatter (system GC)"))
+	section(summarizePauseSeries(r.Fig1b, "Figure 1b: xalan pause scatter (no system GC)"))
+	section(RenderIterationTimes(r.Fig2a, "Figure 2a: xalan per-iteration time (system GC)"))
+	section(RenderIterationTimes(r.Fig2b, "Figure 2b: xalan per-iteration time (no system GC)"))
+	section(r.Table3CMS.Render())
+	section(r.Table3PO.Render())
+	section(r.Table4.Render())
+	section(r.Fig3a.Render())
+	section(r.Fig3b.Render())
+	section(r.Server.Render())
+	section(summarizePauseSeries(r.Server.FigureServerPauses(), "Figure 4: Cassandra stress pauses (CMS, G1)"))
+	for _, c := range r.Client {
+		section(c.RenderBands())
+	}
+	section(r.Verdicts().Render())
+	return b.String()
+}
+
+func summarizePauseSeries(series []PauseSeries, title string) string {
+	header := []string{"GC", "Pauses", "Max pause (s)", "Total exec (s)"}
+	var rows [][]string
+	for _, s := range series {
+		rows = append(rows, []string{
+			s.Collector,
+			fmt.Sprintf("%d", len(s.Points)),
+			fmt.Sprintf("%.3f", s.MaxPause()),
+			fmt.Sprintf("%.2f", s.TotalSeconds),
+		})
+	}
+	return title + "\n" + renderTable(header, rows)
+}
+
+// ExtendedReport bundles the studies beyond the paper's own artifacts.
+type ExtendedReport struct {
+	NoGC      NoGCStatistics
+	Machines  MachineSensitivity
+	G1Sweep   PauseTargetSweep
+	Workloads WorkloadComparison
+	Cluster   ClusterStudy
+	HTM       ExtensionStudy
+}
+
+// RunExtensions executes every extension study.
+func (l *Lab) RunExtensions() (ExtendedReport, error) {
+	var r ExtendedReport
+	var err error
+	if r.NoGC, err = l.NoGCStatisticsStudy(); err != nil {
+		return r, fmt.Errorf("no-GC statistics: %w", err)
+	}
+	if r.Machines, err = l.MachineSensitivityStudy(); err != nil {
+		return r, fmt.Errorf("machine sensitivity: %w", err)
+	}
+	if r.G1Sweep, err = l.G1PauseTargetSweep(nil); err != nil {
+		return r, fmt.Errorf("G1 sweep: %w", err)
+	}
+	if r.Workloads, err = l.WorkloadComparisonStudy(); err != nil {
+		return r, fmt.Errorf("workload comparison: %w", err)
+	}
+	if r.Cluster, err = l.ClusterStudyAll(); err != nil {
+		return r, fmt.Errorf("cluster study: %w", err)
+	}
+	if r.HTM, err = l.ExtensionHTMStudy(); err != nil {
+		return r, fmt.Errorf("HTM study: %w", err)
+	}
+	return r, nil
+}
+
+// Render prints the extension studies in order.
+func (r ExtendedReport) Render() string {
+	var b strings.Builder
+	for _, s := range []string{
+		r.NoGC.Render(), r.Machines.Render(), r.G1Sweep.Render(),
+		r.Workloads.Render(), r.Cluster.Render(), r.HTM.Render(),
+	} {
+		b.WriteString(s)
+		if !strings.HasSuffix(s, "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Claim is one of the paper's headline findings expressed as a predicate
+// over a laboratory run.
+type Claim struct {
+	Name  string
+	Check func(l *Lab) (bool, error)
+}
+
+// HeadlineClaims returns the paper's key findings as testable predicates.
+func HeadlineClaims() []Claim {
+	return []Claim{
+		{
+			Name: "G1 wins no experiment with forced system GCs (Fig 3a)",
+			Check: func(l *Lab) (bool, error) {
+				r, err := l.FigureRanking(true)
+				if err != nil {
+					return false, err
+				}
+				return r.Wins["G1"] == 0, nil
+			},
+		},
+		{
+			Name: "ParallelOld has the best xalan execution with system GCs (Fig 2a)",
+			Check: func(l *Lab) (bool, error) {
+				series, err := l.FigureIterationTimes("xalan", true)
+				if err != nil {
+					return false, err
+				}
+				best := ""
+				bestF := 0.0
+				for _, s := range series {
+					if best == "" || s.Final() < bestF {
+						best, bestF = s.Collector, s.Final()
+					}
+				}
+				return best == "ParallelOld", nil
+			},
+		},
+		{
+			Name: "CMS shows the Table 3 average-pause inversion; ParallelOld does not",
+			Check: func(l *Lab) (bool, error) {
+				cms, err := l.TableHeapYoungSweep("h2", "CMS", Table3Cases())
+				if err != nil {
+					return false, err
+				}
+				po, err := l.TableHeapYoungSweep("h2", "ParallelOld", Table3Cases())
+				if err != nil {
+					return false, err
+				}
+				return cms.InversionObserved() && !po.InversionObserved(), nil
+			},
+		},
+		{
+			Name: "ParallelOld hits a full GC under stress; CMS and G1 do not (§4.1)",
+			Check: func(l *Lab) (bool, error) {
+				study, err := l.ServerPauseStudy()
+				if err != nil {
+					return false, err
+				}
+				var poFull, cmsFull, g1Full int
+				for _, r := range study.Rows {
+					if r.Configuration != "stress" {
+						continue
+					}
+					switch r.Collector {
+					case "ParallelOld":
+						poFull = r.FullGCs
+					case "CMS":
+						cmsFull = r.FullGCs
+					case "G1":
+						g1Full = r.FullGCs
+					}
+				}
+				return poFull > 0 && cmsFull == 0 && g1Full == 0, nil
+			},
+		},
+		{
+			Name: "every >2x latency band is 100%% GC-covered (Tables 5-7)",
+			Check: func(l *Lab) (bool, error) {
+				exp, err := l.ClientLatencyStudy("ParallelOld")
+				if err != nil {
+					return false, err
+				}
+				if len(exp.Update.Above) == 0 {
+					return false, nil
+				}
+				return exp.Update.Above[0].GCs >= 99.5 && exp.Update.Normal.GCs == 0, nil
+			},
+		},
+	}
+}
+
+// SeedSensitivity reports, per claim, how many of n seeds reproduce it.
+type SeedSensitivity struct {
+	Seeds  []uint64
+	Claims []string
+	// Held[i][j] records whether Claims[i] held at Seeds[j].
+	Held [][]bool
+}
+
+// SeedSensitivityStudy re-runs the headline claims at n distinct seeds —
+// the check that the reproduction does not hinge on one lucky seed.
+func SeedSensitivityStudy(baseSeed uint64, n int) (SeedSensitivity, error) {
+	if n <= 0 {
+		n = 5
+	}
+	claims := HeadlineClaims()
+	out := SeedSensitivity{}
+	for s := 0; s < n; s++ {
+		out.Seeds = append(out.Seeds, baseSeed+uint64(s)*7919)
+	}
+	for _, c := range claims {
+		out.Claims = append(out.Claims, c.Name)
+		row := make([]bool, len(out.Seeds))
+		for j, seed := range out.Seeds {
+			lab := QuickLab(seed)
+			ok, err := c.Check(lab)
+			if err != nil {
+				return out, fmt.Errorf("claim %q at seed %d: %w", c.Name, seed, err)
+			}
+			row[j] = ok
+		}
+		out.Held = append(out.Held, row)
+	}
+	return out, nil
+}
+
+// HoldRate returns the fraction of (claim, seed) cells that held.
+func (s SeedSensitivity) HoldRate() float64 {
+	total, held := 0, 0
+	for _, row := range s.Held {
+		for _, ok := range row {
+			total++
+			if ok {
+				held++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(held) / float64(total)
+}
+
+// Render prints the claim × seed matrix.
+func (s SeedSensitivity) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed sensitivity: headline claims across %d seeds (%.0f%% held)\n",
+		len(s.Seeds), 100*s.HoldRate())
+	for i, claim := range s.Claims {
+		marks := make([]string, len(s.Held[i]))
+		for j, ok := range s.Held[i] {
+			if ok {
+				marks[j] = "y"
+			} else {
+				marks[j] = "N"
+			}
+		}
+		fmt.Fprintf(&b, "  [%s] %s\n", strings.Join(marks, ""), claim)
+	}
+	return b.String()
+}

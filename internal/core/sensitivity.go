@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/machine"
+)
+
+// MachineSensitivityRow is one topology's entry in the sensitivity study.
+type MachineSensitivityRow struct {
+	Machine   string
+	Cores     int
+	NUMANodes int
+	// G1Penalty is G1's forced-full-GC execution-time ratio over
+	// ParallelOld on xalan (Figure 1a's headline, re-run per machine).
+	G1Penalty float64
+	// Speedup48Equivalent is the GC gang speedup at the machine's full
+	// width.
+	FullWidthSpeedup float64
+}
+
+// MachineSensitivity asks how the paper's headline depends on the
+// machine: would the study have reached the same conclusions on a
+// single-node laptop or a modern two-socket box? The G1 penalty (serial
+// full GC vs ParallelOld's parallel one) grows with the machine's
+// parallel headroom — the more a parallel compactor can use, the more a
+// single-threaded collapse costs.
+type MachineSensitivity struct {
+	Rows []MachineSensitivityRow
+}
+
+// MachineSensitivityStudy runs the Figure 1a comparison on three
+// topologies: the paper's 8-node testbed, a 2-node contemporary server
+// and a single-node laptop.
+func (l *Lab) MachineSensitivityStudy() (MachineSensitivity, error) {
+	var out MachineSensitivity
+	b, err := dacapo.ByName("xalan")
+	if err != nil {
+		return out, err
+	}
+	cases := []struct {
+		name string
+		topo machine.Topology
+	}{
+		{"paper-48core-8node", machine.PaperTestbed()},
+		{"server-32core-2node", machine.TwoSocketServer()},
+		{"laptop-8core-1node", machine.Laptop()},
+	}
+	for _, c := range cases {
+		m := machine.New(c.topo)
+		run := func(gc string) (float64, error) {
+			cfg := dacapo.BaselineConfig(b)
+			cfg.Machine = m
+			cfg.CollectorName = gc
+			// Keep the heap within the machine's RAM.
+			if cfg.Heap > c.topo.RAM/2 {
+				cfg.Heap = c.topo.RAM / 2
+				cfg.Young = cfg.Heap / 3
+			}
+			cfg.Seed = l.Seed + 900
+			res, err := dacapo.Run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Total.Seconds(), nil
+		}
+		g1, err := run("G1")
+		if err != nil {
+			return out, err
+		}
+		po, err := run("ParallelOld")
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, MachineSensitivityRow{
+			Machine:          c.name,
+			Cores:            c.topo.Cores(),
+			NUMANodes:        c.topo.Nodes(),
+			G1Penalty:        g1 / po,
+			FullWidthSpeedup: m.Speedup(c.topo.Cores()),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the study.
+func (s MachineSensitivity) Render() string {
+	header := []string{"Machine", "Cores", "NUMA nodes", "G1/ParallelOld exec (forced GCs)", "GC gang speedup"}
+	var rows [][]string
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			r.Machine, fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%d", r.NUMANodes),
+			fmt.Sprintf("%.2fx", r.G1Penalty), fmt.Sprintf("%.1fx", r.FullWidthSpeedup),
+		})
+	}
+	return "Machine sensitivity: the paper's G1 headline across topologies\n" +
+		renderTable(header, rows)
+}

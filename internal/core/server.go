@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/gclog"
+	"jvmgc/internal/simtime"
+)
+
+// ServerStudyRow summarizes one §4.1 server run.
+type ServerStudyRow struct {
+	Collector     string
+	Configuration string // "default" or "stress"
+	Duration      simtime.Duration
+	Pauses        int
+	FullGCs       int
+	MaxYoungS     float64
+	MaxFullS      float64
+	OldLiveGB     float64
+	// Suspicions counts the pauses long enough for cluster peers to
+	// declare the node down (the paper's §4.1 distributed-system
+	// concern).
+	Suspicions int
+}
+
+// ServerStudy reproduces the §4.1 narrative: ParallelOld under the default
+// configuration for one and two hours, then all three main collectors
+// under the stress configuration.
+type ServerStudy struct {
+	Rows []ServerStudyRow
+	// StressResults keeps the full stress-run results for Figure 4 and
+	// downstream client generation.
+	StressResults map[string]cassandra.Result
+}
+
+// ServerPauseStudy runs the server-side experiments of §4.1.
+func (l *Lab) ServerPauseStudy() (ServerStudy, error) {
+	out := ServerStudy{StressResults: map[string]cassandra.Result{}}
+	dur := simtime.Seconds(l.ClientDuration)
+
+	fd := cassandra.DefaultFailureDetector()
+	addRow := func(res cassandra.Result, confName string) {
+		p, full := res.Log.CountPauses()
+		var maxYoung, maxFull simtime.Duration
+		for _, e := range res.Log.Pauses() {
+			if e.Kind == gclog.PauseFull {
+				if e.Duration > maxFull {
+					maxFull = e.Duration
+				}
+			} else if e.Duration > maxYoung {
+				maxYoung = e.Duration
+			}
+		}
+		out.Rows = append(out.Rows, ServerStudyRow{
+			Collector:     res.Config.CollectorName,
+			Configuration: confName,
+			Duration:      res.TotalDuration,
+			Pauses:        p,
+			FullGCs:       full,
+			MaxYoungS:     maxYoung.Seconds(),
+			MaxFullS:      maxFull.Seconds(),
+			OldLiveGB:     float64(res.FinalOldLive) / (1 << 30),
+			Suspicions:    len(fd.Analyze(res.Log)),
+		})
+	}
+
+	// Default configuration, ParallelOld, one hour and two hours.
+	for i, d := range []simtime.Duration{dur / 2, dur} {
+		cfg := cassandra.DefaultConfig("ParallelOld", d)
+		cfg.Machine = l.Machine
+		cfg.Seed = l.Seed + uint64(i)
+		res, err := cassandra.Run(cfg)
+		if err != nil {
+			return ServerStudy{}, err
+		}
+		addRow(res, fmt.Sprintf("default %s", d))
+	}
+
+	// Stress configuration, all three main collectors.
+	for _, gc := range MainGCNames() {
+		cfg := cassandra.StressConfig(gc, dur)
+		cfg.Machine = l.Machine
+		cfg.Seed = l.Seed + 100
+		res, err := cassandra.Run(cfg)
+		if err != nil {
+			return ServerStudy{}, err
+		}
+		addRow(res, "stress")
+		out.StressResults[gc] = res
+	}
+	return out, nil
+}
+
+// Render prints the study summary.
+func (s ServerStudy) Render() string {
+	header := []string{"GC", "Config", "Duration", "Pauses", "Full GCs", "Max young (s)", "Max full (s)", "Old live (GB)", "Peer suspicions"}
+	var rows [][]string
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			r.Collector, r.Configuration, r.Duration.String(),
+			fmt.Sprintf("%d", r.Pauses), fmt.Sprintf("%d", r.FullGCs),
+			fmt.Sprintf("%.2f", r.MaxYoungS), fmt.Sprintf("%.2f", r.MaxFullS),
+			fmt.Sprintf("%.1f", r.OldLiveGB), fmt.Sprintf("%d", r.Suspicions),
+		})
+	}
+	return "Section 4.1: GC impact on the server side (Cassandra)\n" + renderTable(header, rows)
+}
+
+// FigureServerPauses extracts Figure 4 from the stress runs: the CMS and
+// G1 pause scatter over elapsed time.
+func (s ServerStudy) FigureServerPauses() []PauseSeries {
+	var out []PauseSeries
+	for _, gc := range []string{"CMS", "G1"} {
+		res, ok := s.StressResults[gc]
+		if !ok {
+			continue
+		}
+		ps := PauseSeries{Collector: gc, TotalSeconds: res.TotalDuration.Seconds()}
+		for _, e := range res.Log.Pauses() {
+			ps.Points = append(ps.Points, PausePoint{
+				AtSeconds:    e.Start.Seconds(),
+				PauseSeconds: e.Duration.Seconds(),
+				Kind:         e.Kind,
+			})
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// RenderFigure4 prints the Figure 4 series.
+func (s ServerStudy) RenderFigure4() string {
+	series := s.FigureServerPauses()
+	var b strings.Builder
+	b.WriteString("Figure 4: application pauses for CMS and G1 with Cassandra (stress configuration)\n")
+	for _, ps := range series {
+		fmt.Fprintf(&b, "# %s (%d pauses, max %.3fs over %.0fs)\n",
+			ps.Collector, len(ps.Points), ps.MaxPause(), ps.TotalSeconds)
+		for _, p := range ps.Points {
+			fmt.Fprintf(&b, "%.1f %.4f\n", p.AtSeconds, p.PauseSeconds)
+		}
+	}
+	return b.String()
+}

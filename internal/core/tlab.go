@@ -1,0 +1,92 @@
+package core
+
+import (
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/stats"
+)
+
+// TLABTable reproduces Table 4: the influence of enabling TLABs for every
+// stable benchmark under every collector.
+type TLABTable struct {
+	Benchmarks []string
+	Collectors []string
+	// Influence[i][j] is the verdict for Benchmarks[i] under
+	// Collectors[j].
+	Influence [][]stats.TLABInfluence
+}
+
+// TableTLAB runs each stable benchmark under each collector with the
+// TLAB enabled and disabled (baseline geometry, system GC on, as §3.4)
+// and classifies the influence with the paper's ±5% rule.
+func (l *Lab) TableTLAB() (TLABTable, error) {
+	benches := dacapo.StableSubset()
+	out := TLABTable{Collectors: append([]string(nil), GCNames()...)}
+	for _, b := range benches {
+		out.Benchmarks = append(out.Benchmarks, b.Name)
+		row := make([]stats.TLABInfluence, 0, len(out.Collectors))
+		for _, gc := range out.Collectors {
+			run := func(tlab bool) (float64, error) {
+				cfg := dacapo.BaselineConfig(b)
+				cfg.Machine = l.Machine
+				cfg.CollectorName = gc
+				cfg.TLAB = tlab
+				// Separate runs have independent noise (the paper ran
+				// each configuration as its own JVM invocation), so the
+				// two cells draw from different streams.
+				cfg.Seed = l.Seed
+				if !tlab {
+					cfg.Seed = l.Seed + 31337
+				}
+				res, err := dacapo.Run(cfg)
+				if err != nil {
+					return 0, err
+				}
+				return res.Total.Seconds(), nil
+			}
+			withTLAB, err := run(true)
+			if err != nil {
+				return TLABTable{}, err
+			}
+			withoutTLAB, err := run(false)
+			if err != nil {
+				return TLABTable{}, err
+			}
+			row = append(row, stats.ClassifyTLAB(withTLAB, withoutTLAB))
+		}
+		out.Influence = append(out.Influence, row)
+	}
+	return out, nil
+}
+
+// Counts returns how many cells are neutral, positive and negative — the
+// paper's qualitative summary is "mostly neutral, occasionally negative".
+func (t TLABTable) Counts() (neutral, positive, negative int) {
+	for _, row := range t.Influence {
+		for _, v := range row {
+			switch v {
+			case stats.TLABPositive:
+				positive++
+			case stats.TLABNegative:
+				negative++
+			default:
+				neutral++
+			}
+		}
+	}
+	return neutral, positive, negative
+}
+
+// Render prints the table in the paper's Table 4 format.
+func (t TLABTable) Render() string {
+	header := append([]string{"Benchmark"}, t.Collectors...)
+	var rows [][]string
+	for i, b := range t.Benchmarks {
+		row := []string{b}
+		for _, v := range t.Influence[i] {
+			row = append(row, v.String())
+		}
+		rows = append(rows, row)
+	}
+	return "Table 4: TLAB influence over all GCs and the selected subset of benchmarks\n" +
+		renderTable(header, rows)
+}

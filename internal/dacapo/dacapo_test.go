@@ -1,0 +1,290 @@
+package dacapo
+
+import (
+	"errors"
+	"testing"
+
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/stats"
+)
+
+func TestSuiteShape(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14", len(all))
+	}
+	crashes := 0
+	for _, b := range all {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.Crashes {
+			crashes++
+		}
+	}
+	if crashes != 3 {
+		t.Errorf("%d crashing benchmarks, want 3 (eclipse, tradebeans, tradesoap)", crashes)
+	}
+}
+
+func TestStableSubsetMatchesTable2(t *testing.T) {
+	want := map[string]bool{"h2": true, "tomcat": true, "xalan": true,
+		"jython": true, "pmd": true, "luindex": true, "batik": true}
+	got := StableSubset()
+	if len(got) != len(want) {
+		t.Fatalf("subset size %d", len(got))
+	}
+	for _, b := range got {
+		if !want[b.Name] {
+			t.Errorf("unexpected %s in stable subset", b.Name)
+		}
+		if b.Crashes {
+			t.Errorf("%s crashes but is in the stable subset", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("xalan")
+	if err != nil || b.Name != "xalan" {
+		t.Errorf("ByName(xalan) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Names()) != 14 {
+		t.Error("Names() incomplete")
+	}
+}
+
+func TestThreads(t *testing.T) {
+	x, _ := ByName("xalan")
+	if got := x.Threads(48); got != 48 {
+		t.Errorf("xalan threads = %d", got)
+	}
+	f, _ := ByName("fop")
+	if got := f.Threads(48); got != 1 {
+		t.Errorf("fop threads = %d", got)
+	}
+	if got := x.Threads(0); got != 1 {
+		t.Errorf("degenerate hw threads = %d", got)
+	}
+}
+
+func TestCrashingBenchmarksReturnErrCrashed(t *testing.T) {
+	for _, name := range []string{"eclipse", "tradebeans", "tradesoap"} {
+		b, _ := ByName(name)
+		_, err := Run(BaselineConfig(b))
+		if !errors.Is(err, ErrCrashed) {
+			t.Errorf("%s: err = %v, want ErrCrashed", name, err)
+		}
+	}
+}
+
+func TestBaselineRunShape(t *testing.T) {
+	b, _ := ByName("xalan")
+	res, err := Run(BaselineConfig(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 10 {
+		t.Fatalf("%d iterations", len(res.Iterations))
+	}
+	// Iterations land near the calibrated ~1.2s (plus GC time).
+	for i, d := range res.Iterations {
+		if d < 500*simtime.Millisecond || d > 6*simtime.Second {
+			t.Errorf("iteration %d = %v, outside plausible range", i, d)
+		}
+	}
+	if res.Total < 10*simtime.Second || res.Total > 60*simtime.Second {
+		t.Errorf("total = %v", res.Total)
+	}
+	// With system GC on, the log carries full collections.
+	_, full := res.Log.CountPauses()
+	if full < 9 {
+		t.Errorf("full GCs = %d, want >= 9 (one per non-first iteration)", full)
+	}
+	if res.Final() != res.Iterations[9] {
+		t.Error("Final() mismatch")
+	}
+}
+
+func TestSystemGCOffRunsWithoutFullGCs(t *testing.T) {
+	b, _ := ByName("xalan")
+	cfg := BaselineConfig(b)
+	cfg.SystemGC = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full := res.Log.CountPauses()
+	if full != 0 {
+		t.Errorf("full GCs = %d with system GC off", full)
+	}
+	// Forcing collections costs G1 real time (its full GC is serial and
+	// heap-capacity bound), while for the throughput collectors the
+	// forced fulls roughly trade against avoided minor collections.
+	g1With := BaselineConfig(b)
+	g1With.CollectorName = "G1"
+	w, err := Run(g1With)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1Without := g1With
+	g1Without.SystemGC = false
+	wo, err := Run(g1Without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wo.Total >= w.Total {
+		t.Errorf("G1 no-system-GC total %v >= system-GC total %v", wo.Total, w.Total)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	b, _ := ByName("h2")
+	cfg := BaselineConfig(b)
+	cfg.Seed = 99
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != bres.Total || a.Log.String() != bres.Log.String() {
+		t.Error("same seed, different results")
+	}
+	cfg.Seed = 100
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total == a.Total {
+		t.Error("different seeds, identical totals")
+	}
+}
+
+func TestStabilityNoiseShape(t *testing.T) {
+	// The noise knobs must land each stable benchmark's final-iteration
+	// and total RSDs in the right regime (Table 2: all below ~12%, most
+	// below 5%), and the designated unstable benchmarks above 5%.
+	rsd := func(name string, runs int) (finalRSD, totalRSD float64) {
+		b, _ := ByName(name)
+		var finals, totals []float64
+		for r := 0; r < runs; r++ {
+			cfg := BaselineConfig(b)
+			cfg.Seed = uint64(1000 + r)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			finals = append(finals, res.Final().Seconds())
+			totals = append(totals, res.Total.Seconds())
+		}
+		return stats.RSD(finals), stats.RSD(totals)
+	}
+	// Stable example: pmd must be very stable.
+	f, tot := rsd("pmd", 10)
+	if f > 4 || tot > 3 {
+		t.Errorf("pmd RSDs = %.1f%%, %.1f%%, want < 4/3", f, tot)
+	}
+	// Unstable example: lusearch must exceed the 5%% screen on at least
+	// one metric (run more seeds to stabilize the estimate).
+	f, tot = rsd("lusearch", 14)
+	if f < 4 && tot < 4 {
+		t.Errorf("lusearch RSDs = %.1f%%, %.1f%%, expected instability", f, tot)
+	}
+}
+
+func TestBaselineConstants(t *testing.T) {
+	if BaselineHeap != 16*machine.GB {
+		t.Errorf("baseline heap %v", BaselineHeap)
+	}
+	if BaselineYoung <= 5*machine.GB || BaselineYoung >= 6*machine.GB {
+		t.Errorf("baseline young %v", BaselineYoung)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	b, _ := ByName("fop")
+	res, err := Run(RunConfig{Benchmark: b, TLAB: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 10 {
+		t.Errorf("defaulted iterations = %d", len(res.Iterations))
+	}
+}
+
+func TestUnknownCollectorRejected(t *testing.T) {
+	b, _ := ByName("fop")
+	cfg := BaselineConfig(b)
+	cfg.CollectorName = "Shenandoah"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown collector accepted")
+	}
+}
+
+func TestFullInputOOMsOnTinyHeap(t *testing.T) {
+	// The DESIGN.md claim behind Table 3's SizeFactor: h2's full input
+	// cannot run in a 250MB heap — the live set does not fit — while the
+	// scaled input can.
+	b, _ := ByName("h2")
+	cfg := BaselineConfig(b)
+	cfg.Heap = 250 * machine.MB
+	cfg.Young = 100 * machine.MB
+	cfg.YoungExplicit = true
+	cfg.SystemGC = false
+	cfg.Iterations = 2
+	cfg.Seed = 3
+	res, err := Run(cfg) // SizeFactor 1: the full input
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutOfMemory {
+		t.Error("full h2 input fit a 250MB heap; Table 3's input scaling would be unjustified")
+	}
+	cfg.SizeFactor = 0.18
+	cfg.Iterations = 10
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfMemory {
+		t.Error("scaled h2 input OOMed; Table 3's small-heap rows would be impossible")
+	}
+}
+
+func TestAllBenchmarksRunCleanAtBaseline(t *testing.T) {
+	// Every non-crashing benchmark completes a baseline run under every
+	// collector without OOM and with sane timings.
+	for _, b := range All() {
+		if b.Crashes {
+			continue
+		}
+		for _, gc := range []string{"Serial", "ParallelOld", "CMS", "G1"} {
+			cfg := BaselineConfig(b)
+			cfg.CollectorName = gc
+			cfg.Seed = 77
+			res, err := Run(cfg)
+			if err != nil {
+				t.Errorf("%s/%s: %v", b.Name, gc, err)
+				continue
+			}
+			if res.OutOfMemory {
+				t.Errorf("%s/%s: OOM at baseline", b.Name, gc)
+			}
+			if res.Total <= 0 || len(res.Iterations) != 10 {
+				t.Errorf("%s/%s: degenerate result %v/%d", b.Name, gc, res.Total, len(res.Iterations))
+			}
+			for i, d := range res.Iterations {
+				if d <= 0 {
+					t.Errorf("%s/%s: iteration %d non-positive", b.Name, gc, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package event
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/xrand"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3*simtime.Time(simtime.Second), func() { order = append(order, 3) })
+	s.Schedule(1*simtime.Time(simtime.Second), func() { order = append(order, 1) })
+	s.Schedule(2*simtime.Time(simtime.Second), func() { order = append(order, 2) })
+	if n := s.RunAll(); n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 3*simtime.Time(simtime.Second) {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestTiesFireInSchedulingOrder(t *testing.T) {
+	s := New()
+	var order []int
+	at := simtime.Time(simtime.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(at, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("tied events fired out of scheduling order: %v", order)
+	}
+}
+
+func TestClockAdvancesOnlyOnExecution(t *testing.T) {
+	s := New()
+	s.Schedule(simtime.Time(5*simtime.Second), func() {})
+	if s.Now() != 0 {
+		t.Errorf("clock moved on schedule: %v", s.Now())
+	}
+	s.Step()
+	if s.Now() != simtime.Time(5*simtime.Second) {
+		t.Errorf("clock = %v after step", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(simtime.Time(simtime.Second), func() {})
+	s.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Schedule(0, func() {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(-simtime.Second, func() { fired = true })
+	s.RunAll()
+	if !fired {
+		t.Error("negative After never fired")
+	}
+	if s.Now() != 0 {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(simtime.Time(simtime.Second), func() { fired = true })
+	s.Cancel(e)
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	s.RunAll()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling again, or cancelling nil, must be harmless.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	s := New()
+	var order []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.Schedule(simtime.Time(i)*simtime.Time(simtime.Second), func() {
+			order = append(order, i)
+		}))
+	}
+	for i := 0; i < 20; i += 2 {
+		s.Cancel(events[i])
+	}
+	s.RunAll()
+	want := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventsScheduledDuringExecution(t *testing.T) {
+	s := New()
+	var order []string
+	s.Schedule(simtime.Time(simtime.Second), func() {
+		order = append(order, "a")
+		s.After(simtime.Second, func() { order = append(order, "b") })
+		s.After(0, func() { order = append(order, "a2") })
+	})
+	s.RunAll()
+	if len(order) != 3 || order[0] != "a" || order[1] != "a2" || order[2] != "b" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(simtime.Time(i)*simtime.Time(simtime.Second), func() { fired++ })
+	}
+	n := s.Run(simtime.Time(5*simtime.Second + simtime.Millisecond))
+	if n != 5 || fired != 5 {
+		t.Errorf("executed %d/%d events", n, fired)
+	}
+	if s.Now() != simtime.Time(5*simtime.Second+simtime.Millisecond) {
+		t.Errorf("clock = %v, want deadline", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	// Resuming past the deadline picks the remaining events up.
+	s.RunAll()
+	if fired != 10 {
+		t.Errorf("after resume fired = %d", fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(simtime.Time(i)*simtime.Time(simtime.Second), func() {
+			fired++
+			if fired == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.RunAll()
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3 after Halt", fired)
+	}
+	// A subsequent run resumes.
+	s.RunAll()
+	if fired != 10 {
+		t.Errorf("fired = %d after resume", fired)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.After(simtime.Duration(i), func() {})
+	}
+	s.RunAll()
+	if s.Fired() != 5 {
+		t.Errorf("Fired = %d", s.Fired())
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestQuickRandomScheduleFiresSorted(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		s := New()
+		r := xrand.New(seed)
+		var fired []simtime.Time
+		for range raw {
+			at := simtime.Time(r.Uint64n(1000)) * simtime.Time(simtime.Millisecond)
+			s.Schedule(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.RunAll()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

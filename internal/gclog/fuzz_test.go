@@ -1,0 +1,38 @@
+package gclog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the log parser. The parser must
+// never panic on malformed input (only Append's ordering invariant may
+// panic, and Parse guards it), and everything it accepts must re-render
+// and re-parse to the same aggregate statistics.
+func FuzzParse(f *testing.F) {
+	f.Add("1.000: [GC (young) (Allocation Failure) 4GB->1GB, 0.1000 secs]\n")
+	f.Add("0.5: [Full GC (System.gc()) 8GB->2GB, 2.0000 secs]\n# comment\n")
+	f.Add("garbage\n")
+	f.Add("1.0: [GC (mixed) (Occupancy Threshold) 1.5MB->512B, 0.0001 secs]")
+	f.Add(strings.Repeat("9.9: [GC (remark) (c) 1KB->1KB, 0.0010 secs]\n", 3))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		log, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must round-trip stably.
+		again, err := Parse(strings.NewReader(log.String()))
+		if err != nil {
+			t.Fatalf("re-parse of rendered log failed: %v\nrendered:\n%s", err, log.String())
+		}
+		p1, f1 := log.CountPauses()
+		p2, f2 := again.CountPauses()
+		if p1 != p2 || f1 != f2 {
+			t.Fatalf("counts changed across round trip: %d/%d vs %d/%d", p1, f1, p2, f2)
+		}
+		if log.TotalPause() < 0 || log.MaxPause() < 0 {
+			t.Fatal("negative aggregate")
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package gclog
+
+import (
+	"strings"
+	"testing"
+
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+func sec(s int) simtime.Time { return simtime.Time(s) * simtime.Time(simtime.Second) }
+
+func sample() *Log {
+	l := New()
+	l.Append(Event{Start: sec(1), Duration: 100 * simtime.Millisecond, Kind: PauseMinor,
+		Collector: "ParallelOld", Cause: CauseAllocationFailure,
+		HeapBefore: 4 * machine.GB, HeapAfter: machine.GB, Promoted: 100 * machine.MB})
+	l.Append(Event{Start: sec(2), Duration: 3 * simtime.Second, Kind: ConcurrentMark,
+		Collector: "CMS", Cause: CauseOccupancyThreshold})
+	l.Append(Event{Start: sec(6), Duration: 2 * simtime.Second, Kind: PauseFull,
+		Collector: "ParallelOld", Cause: CauseSystemGC,
+		HeapBefore: 8 * machine.GB, HeapAfter: 2 * machine.GB})
+	l.Append(Event{Start: sec(9), Duration: 50 * simtime.Millisecond, Kind: PauseRemark,
+		Collector: "CMS", Cause: CauseOccupancyThreshold})
+	return l
+}
+
+func TestKindClassification(t *testing.T) {
+	pauses := []Kind{PauseMinor, PauseFull, PauseInitialMark, PauseRemark, PauseMixed}
+	for _, k := range pauses {
+		if !k.IsPause() {
+			t.Errorf("%v should be a pause", k)
+		}
+	}
+	for _, k := range []Kind{ConcurrentMark, ConcurrentSweep} {
+		if k.IsPause() {
+			t.Errorf("%v should not be a pause", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if PauseFull.String() != "Full GC" || ConcurrentSweep.String() != "concurrent-sweep" {
+		t.Error("kind names wrong")
+	}
+	if Kind(42).String() != "unknown" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestAppendOrderEnforced(t *testing.T) {
+	l := New()
+	l.Append(Event{Start: sec(5)})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-order append")
+		}
+	}()
+	l.Append(Event{Start: sec(4)})
+}
+
+func TestPausesFiltersConcurrent(t *testing.T) {
+	l := sample()
+	p := l.Pauses()
+	if len(p) != 3 {
+		t.Fatalf("pauses = %d, want 3", len(p))
+	}
+	for _, e := range p {
+		if !e.Kind.IsPause() {
+			t.Errorf("non-pause %v in Pauses()", e.Kind)
+		}
+	}
+}
+
+func TestPausesBetween(t *testing.T) {
+	l := sample()
+	got := l.PausesBetween(sec(2), sec(9))
+	if len(got) != 1 || got[0].Kind != PauseFull {
+		t.Errorf("PausesBetween = %v", got)
+	}
+	// Boundary: start inclusive, end exclusive.
+	got = l.PausesBetween(sec(1), sec(1))
+	if len(got) != 0 {
+		t.Error("empty interval returned events")
+	}
+	got = l.PausesBetween(sec(9), sec(10))
+	if len(got) != 1 || got[0].Kind != PauseRemark {
+		t.Errorf("inclusive start missed: %v", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	l := sample()
+	wantTotal := 100*simtime.Millisecond + 2*simtime.Second + 50*simtime.Millisecond
+	if got := l.TotalPause(); got != wantTotal {
+		t.Errorf("TotalPause = %v, want %v", got, wantTotal)
+	}
+	if got := l.MaxPause(); got != 2*simtime.Second {
+		t.Errorf("MaxPause = %v", got)
+	}
+	pauses, full := l.CountPauses()
+	if pauses != 3 || full != 1 {
+		t.Errorf("CountPauses = %d, %d", pauses, full)
+	}
+	if got := l.AvgPause(); got != wantTotal/3 {
+		t.Errorf("AvgPause = %v", got)
+	}
+}
+
+func TestEmptyLogAggregates(t *testing.T) {
+	l := New()
+	if l.TotalPause() != 0 || l.MaxPause() != 0 || l.AvgPause() != 0 {
+		t.Error("empty log aggregates nonzero")
+	}
+	if p, f := l.CountPauses(); p != 0 || f != 0 {
+		t.Error("empty log counts nonzero")
+	}
+}
+
+func TestPauseAt(t *testing.T) {
+	l := sample()
+	if _, ok := l.PauseAt(sec(7)); !ok {
+		t.Error("instant inside full GC not covered")
+	}
+	if e, ok := l.PauseAt(sec(6)); !ok || e.Kind != PauseFull {
+		t.Error("pause start instant not covered")
+	}
+	if _, ok := l.PauseAt(sec(8)); ok {
+		t.Error("pause end instant should be exclusive")
+	}
+	if _, ok := l.PauseAt(sec(3)); ok {
+		t.Error("concurrent phase reported as pause")
+	}
+}
+
+func TestEventEndAndFormat(t *testing.T) {
+	e := Event{Start: sec(6), Duration: 2 * simtime.Second, Kind: PauseFull,
+		Cause: CauseSystemGC, HeapBefore: 8 * machine.GB, HeapAfter: 2 * machine.GB}
+	if e.End() != sec(8) {
+		t.Errorf("End = %v", e.End())
+	}
+	line := e.Format()
+	for _, want := range []string{"6.000", "Full GC", "System.gc()", "8GB", "2GB", "2.0000 secs"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Format() = %q missing %q", line, want)
+		}
+	}
+}
+
+func TestStringRendersAllEvents(t *testing.T) {
+	l := sample()
+	s := l.String()
+	if got := strings.Count(s, "\n"); got != 4 {
+		t.Errorf("rendered %d lines, want 4", got)
+	}
+}

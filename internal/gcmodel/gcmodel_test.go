@@ -1,0 +1,159 @@
+package gcmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jvmgc/internal/heapmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/xrand"
+)
+
+func snap() Snapshot {
+	m := machine.New(machine.PaperTestbed())
+	return Snapshot{
+		Machine:        m,
+		Geo:            heapmodel.Geometry{Heap: 16 * machine.GB, Young: 4 * machine.GB, SurvivorRatio: 8},
+		GCThreads:      m.DefaultGCThreads(),
+		Survived:       200 * machine.MB,
+		Promoted:       50 * machine.MB,
+		LiveYoung:      200 * machine.MB,
+		LiveOld:        machine.GB,
+		OldUsed:        2 * machine.GB,
+		HeapUsed:       4 * machine.GB,
+		OldOccupancy:   0.2,
+		MutatorThreads: 48,
+	}
+}
+
+func TestPressureMultiplier(t *testing.T) {
+	c := DefaultCosts()
+	if got := c.PressureMultiplier(0.5); got != 1 {
+		t.Errorf("below knee: %v", got)
+	}
+	if got := c.PressureMultiplier(c.OldPressureKnee); got != 1 {
+		t.Errorf("at knee: %v", got)
+	}
+	full := c.PressureMultiplier(1.0)
+	if full != 1+c.OldPressureMax {
+		t.Errorf("at 100%%: %v, want %v", full, 1+c.OldPressureMax)
+	}
+	mid := c.PressureMultiplier((c.OldPressureKnee + 1) / 2)
+	if mid <= 1 || mid >= full {
+		t.Errorf("midpoint multiplier %v not between 1 and %v", mid, full)
+	}
+	// Over-unity occupancy clamps.
+	if got := c.PressureMultiplier(1.5); got != full {
+		t.Errorf("clamp: %v", got)
+	}
+}
+
+func TestMinorWorkComponents(t *testing.T) {
+	c := DefaultCosts()
+	s := snap()
+	base := c.MinorWork(s, c.PromoteBump)
+	// Free-list promotion must cost strictly more.
+	fl := c.MinorWork(s, c.PromoteFreeList)
+	if fl <= base {
+		t.Errorf("free-list work %v <= bump work %v", fl, base)
+	}
+	// Old pressure raises promotion cost.
+	hot := s
+	hot.OldOccupancy = 0.99
+	if got := c.MinorWork(hot, c.PromoteBump); got <= base {
+		t.Errorf("pressure work %v <= base %v", got, base)
+	}
+	// More old means more card scanning.
+	bigOld := s
+	bigOld.OldUsed = 50 * machine.GB
+	if got := c.MinorWork(bigOld, c.PromoteBump); got <= base {
+		t.Errorf("card work %v <= base %v", got, base)
+	}
+}
+
+func TestFullWorkScalesWithLive(t *testing.T) {
+	c := DefaultCosts()
+	s := snap()
+	small := c.FullWork(s)
+	s.LiveOld = 50 * machine.GB
+	if big := c.FullWork(s); big <= small {
+		t.Errorf("full work did not grow: %v vs %v", big, small)
+	}
+}
+
+func TestPausePricingOrdering(t *testing.T) {
+	c := DefaultCosts()
+	c.PauseJitter = 0 // deterministic for ordering checks
+	s := snap()
+	work := 4.0 * float64(machine.GB)
+	par := c.ParallelPause(s, work)
+	ser := c.SerialPause(s, work, s.HeapUsed)
+	if par >= ser {
+		t.Errorf("parallel %v >= serial %v on 4GB", par, ser)
+	}
+	mixed := c.MixedParallelPause(s, work, 0.75, s.HeapUsed)
+	if mixed <= par || mixed >= ser {
+		t.Errorf("mixed %v not between parallel %v and serial %v", mixed, par, ser)
+	}
+	// Degenerate fractions collapse to the pure cases (modulo the root
+	// scan being priced on the parallel side).
+	allPar := c.MixedParallelPause(s, work, 1, s.HeapUsed)
+	if d := allPar - par; d < -par/10 || d > par/10 {
+		t.Errorf("frac=1 mixed %v != parallel %v", allPar, par)
+	}
+}
+
+func TestMixedParallelPauseClampsFraction(t *testing.T) {
+	c := DefaultCosts()
+	c.PauseJitter = 0
+	s := snap()
+	if c.MixedParallelPause(s, 1e9, -1, s.HeapUsed) != c.MixedParallelPause(s, 1e9, 0, s.HeapUsed) {
+		t.Error("negative fraction not clamped")
+	}
+	if c.MixedParallelPause(s, 1e9, 2, s.HeapUsed) != c.MixedParallelPause(s, 1e9, 1, s.HeapUsed) {
+		t.Error("fraction > 1 not clamped")
+	}
+}
+
+func TestJitter(t *testing.T) {
+	c := DefaultCosts()
+	rng := xrand.New(1)
+	d := c.Jitter(1000000, rng)
+	lo := int64(float64(1000000) * (1 - c.PauseJitter))
+	hi := int64(float64(1000000) * (1 + c.PauseJitter))
+	if int64(d) < lo || int64(d) > hi {
+		t.Errorf("jittered %v outside [%d,%d]", d, lo, hi)
+	}
+	// nil rng passes through unchanged.
+	if c.Jitter(12345, nil) != 12345 {
+		t.Error("nil rng altered duration")
+	}
+}
+
+func TestQuickPressureMonotone(t *testing.T) {
+	c := DefaultCosts()
+	f := func(a, b uint8) bool {
+		x, y := float64(a)/255, float64(b)/255
+		if x > y {
+			x, y = y, x
+		}
+		return c.PressureMultiplier(x) <= c.PressureMultiplier(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinorWorkMonotoneInVolumes(t *testing.T) {
+	c := DefaultCosts()
+	s := snap()
+	f := func(a, b uint32) bool {
+		s1, s2 := s, s
+		s1.Survived = machine.Bytes(a)
+		s2.Survived = machine.Bytes(a) + machine.Bytes(b)
+		return c.MinorWork(s1, c.PromoteBump) <= c.MinorWork(s2, c.PromoteBump)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

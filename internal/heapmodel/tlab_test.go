@@ -1,0 +1,75 @@
+package heapmodel
+
+import (
+	"testing"
+
+	"jvmgc/internal/machine"
+)
+
+func TestNsPerByteTLABEnabled(t *testing.T) {
+	a := DefaultAllocationModel()
+	tlab := DefaultTLAB()
+	// With TLABs the cost is flat in thread count.
+	if a.NsPerByte(tlab, 1) != a.NsPerByte(tlab, 48) {
+		t.Error("TLAB allocation cost should not depend on threads")
+	}
+	if a.NsPerByte(tlab, 1) != a.TLABCost {
+		t.Errorf("cost = %v", a.NsPerByte(tlab, 1))
+	}
+}
+
+func TestNsPerByteTLABDisabledGrowsWithThreads(t *testing.T) {
+	a := DefaultAllocationModel()
+	off := TLABConfig{Enabled: false}
+	c1 := a.NsPerByte(off, 1)
+	c48 := a.NsPerByte(off, 48)
+	if c48 <= c1 {
+		t.Errorf("contention did not grow: %v vs %v", c1, c48)
+	}
+	if c1 != a.SharedCost {
+		t.Errorf("single-thread shared cost = %v", c1)
+	}
+	// Disabled TLAB is always at least as expensive as enabled.
+	if c1 < a.NsPerByte(DefaultTLAB(), 1) {
+		t.Error("shared allocation cheaper than TLAB")
+	}
+}
+
+func TestNsPerByteClampThreads(t *testing.T) {
+	a := DefaultAllocationModel()
+	off := TLABConfig{Enabled: false}
+	if a.NsPerByte(off, 0) != a.NsPerByte(off, 1) {
+		t.Error("thread clamp missing")
+	}
+}
+
+func TestEffectiveEden(t *testing.T) {
+	tlab := DefaultTLAB()
+	eden := 4 * machine.GB
+	eff := tlab.EffectiveEden(eden, 48)
+	if eff >= eden {
+		t.Errorf("effective eden %v not below eden %v", eff, eden)
+	}
+	// Waste must be bounded: at most half of eden is lost.
+	if eff < eden/2 {
+		t.Errorf("effective eden %v below half of eden", eff)
+	}
+	// More threads waste more.
+	if tlab.EffectiveEden(eden, 96) >= eff {
+		t.Error("waste did not grow with threads")
+	}
+	// Disabled TLAB wastes nothing.
+	off := TLABConfig{Enabled: false}
+	if off.EffectiveEden(eden, 48) != eden {
+		t.Error("disabled TLAB should use full eden")
+	}
+}
+
+func TestEffectiveEdenSmallEdenManyThreadsFloors(t *testing.T) {
+	tlab := DefaultTLAB()
+	eden := 64 * machine.MB
+	eff := tlab.EffectiveEden(eden, 1000)
+	if eff != eden/2 {
+		t.Errorf("effective eden %v, want floor eden/2", eff)
+	}
+}

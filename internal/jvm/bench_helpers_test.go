@@ -1,0 +1,72 @@
+package jvm
+
+import (
+	"testing"
+
+	"jvmgc/internal/collector"
+	"jvmgc/internal/demography"
+	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/heapmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+func mustCollector(tb testing.TB, name string) gcmodel.Collector {
+	tb.Helper()
+	col, err := collector.New(name, collector.Config{Machine: machine.New(machine.PaperTestbed())})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return col
+}
+
+func geo(heap, young machine.Bytes) heapmodel.Geometry {
+	return heapmodel.Geometry{Heap: heap, Young: young, SurvivorRatio: heapmodel.DefaultSurvivorRatio}
+}
+
+func benchWorkload() Workload {
+	// Steady state: no immortal component, so the workload can run for
+	// an unbounded simulated time.
+	return Workload{
+		Threads:   48,
+		AllocRate: 900e6,
+		Profile: demography.Profile{
+			ShortFrac: 0.86, MeanShort: 150 * simtime.Millisecond,
+			MediumFrac: 0.14, MeanMedium: 6 * simtime.Second,
+		},
+	}
+}
+
+// TestSoakDaylongSimulation runs a simulated 24 hours under CMS and
+// checks the invariants hold at scale: cohort lists stay bounded, the
+// log stays ordered, and no OOM appears on a steady-state workload.
+func TestSoakDaylongSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := Config{
+		Machine:   machine.New(machine.PaperTestbed()),
+		Collector: mustCollector(t, "CMS"),
+		Geometry:  geo(8*machine.GB, 2*machine.GB),
+		Seed:      9,
+	}
+	j := New(cfg, benchWorkload())
+	j.RunFor(24 * simtime.Hour)
+	if _, _, oom := j.OutOfMemory(); oom {
+		t.Fatal("steady-state workload OOMed over 24h")
+	}
+	pauses, _ := j.Log().CountPauses()
+	if pauses < 1000 {
+		t.Errorf("only %d pauses over 24h of heavy allocation", pauses)
+	}
+	var prev simtime.Time
+	for _, e := range j.Log().Events() {
+		if e.Start < prev {
+			t.Fatal("log disordered at scale")
+		}
+		prev = e.Start
+	}
+	if p := j.Progress(); p <= 0 || p > 24*3600 {
+		t.Errorf("progress %v out of range", p)
+	}
+}

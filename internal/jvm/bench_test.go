@@ -1,0 +1,38 @@
+package jvm
+
+import (
+	"testing"
+
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// BenchmarkSimulatedHourCMS measures the laboratory's own performance:
+// how much wall time one simulated hour of a GC-heavy CMS workload costs.
+func BenchmarkSimulatedHourCMS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Machine:   machine.New(machine.PaperTestbed()),
+			Collector: mustCollector(b, "CMS"),
+			Geometry:  geo(8*machine.GB, 2*machine.GB),
+			Seed:      1,
+		}
+		j := New(cfg, benchWorkload())
+		j.RunFor(simtime.Hour)
+	}
+}
+
+// BenchmarkSimulatedHourG1 is the G1 counterpart (adaptive young sizing
+// adds events).
+func BenchmarkSimulatedHourG1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Machine:   machine.New(machine.PaperTestbed()),
+			Collector: mustCollector(b, "G1"),
+			Geometry:  geo(8*machine.GB, 2*machine.GB),
+			Seed:      1,
+		}
+		j := New(cfg, benchWorkload())
+		j.RunFor(simtime.Hour)
+	}
+}

@@ -1,0 +1,82 @@
+package jvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jvmgc/internal/collector"
+	"jvmgc/internal/demography"
+	"jvmgc/internal/heapmodel"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// TestQuickSimulationInvariants drives randomly configured JVMs and
+// checks the structural invariants that must hold for ANY configuration:
+// the GC log is time-ordered with non-negative durations, heap occupancy
+// respects the geometry, progress is bounded by wall time, and the run
+// is deterministic in its inputs.
+func TestQuickSimulationInvariants(t *testing.T) {
+	mach := machine.New(machine.PaperTestbed())
+	names := collector.Names()
+
+	run := func(colIdx uint8, heapMB, youngPct, allocMBs uint16, shortPct, mediumPct uint8, seed uint64) bool {
+		name := names[int(colIdx)%len(names)]
+		heap := machine.Bytes(uint64(heapMB)%(16*1024)+64) * machine.MB
+		young := heap * machine.Bytes(uint64(youngPct)%60+10) / 100
+		if young < machine.MB {
+			young = machine.MB
+		}
+		alloc := float64(uint64(allocMBs)%2000+1) * 1e6
+		sf := float64(shortPct%90+5) / 100
+		mf := float64(mediumPct%100) / 100 * (1 - sf) * 0.8
+
+		col, err := collector.New(name, collector.Config{Machine: mach})
+		if err != nil {
+			return false
+		}
+		j := New(Config{
+			Machine:   mach,
+			Collector: col,
+			Geometry:  heapmodel.Geometry{Heap: heap, Young: young, SurvivorRatio: heapmodel.DefaultSurvivorRatio},
+			Seed:      seed,
+		}, Workload{
+			Threads:   16,
+			AllocRate: alloc,
+			Profile: demography.Profile{
+				ShortFrac: sf, MeanShort: 150 * simtime.Millisecond,
+				MediumFrac: mf, MeanMedium: 4 * simtime.Second,
+			},
+		})
+		const wall = 20.0
+		j.RunFor(simtime.Seconds(wall))
+
+		// Progress never exceeds wall time and never goes negative.
+		if p := j.Progress(); p < 0 || p > wall+1e-6 {
+			t.Logf("%s heap=%v young=%v: progress %v outside [0, %v]", name, heap, young, j.Progress(), wall)
+			return false
+		}
+		// Occupancies respect the (possibly resized) geometry.
+		h := j.Heap()
+		geo := h.Geometry()
+		if h.EdenUsed() < 0 || h.EdenUsed() > geo.Eden() ||
+			h.SurvivorUsed() < 0 || h.SurvivorUsed() > geo.Survivor() ||
+			h.OldUsed() < 0 || h.OldUsed() > geo.Old() {
+			t.Logf("%s: occupancy out of bounds", name)
+			return false
+		}
+		// Log events are ordered with sane durations.
+		var prev simtime.Time
+		for _, e := range j.Log().Events() {
+			if e.Start < prev || e.Duration < 0 {
+				t.Logf("%s: malformed log event %+v", name, e)
+				return false
+			}
+			prev = e.Start
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package jvm
+
+import (
+	"jvmgc/internal/simtime"
+)
+
+// RunFor advances the simulation by d of simulated time, executing every
+// GC event that falls inside the window.
+func (j *JVM) RunFor(d simtime.Duration) {
+	if d < 0 {
+		panic("jvm: RunFor with negative duration")
+	}
+	deadline := j.clock.Now().Add(d)
+	j.clock.Run(deadline)
+	j.advance(deadline)
+}
+
+// RunUntilProgress advances the simulation until the mutators have
+// accumulated `work` additional ideal-seconds of progress (a DaCapo
+// iteration's worth of computation), and returns the wall-clock simulated
+// time that took. Stop-the-world pauses and concurrent slow-downs stretch
+// the wall time beyond the ideal work.
+func (j *JVM) RunUntilProgress(work float64) simtime.Duration {
+	if work < 0 {
+		panic("jvm: RunUntilProgress with negative work")
+	}
+	start := j.clock.Now()
+	target := j.progress + work
+	const eps = 1e-9
+	for j.progress+eps < target {
+		// Estimate completion at the current speed, from the end of any
+		// pause in progress.
+		from := j.clock.Now()
+		if j.resumeAt > from {
+			from = j.resumeAt
+		}
+		sp := j.speed()
+		at := from.Add(simtime.Seconds((target - j.progress) / sp))
+		marker := j.clock.Schedule(at, func() {
+			j.advance(j.clock.Now())
+		})
+		// Step until the marker fires; earlier GC events may change speed,
+		// in which case the loop re-estimates.
+		for !marker.Cancelled() {
+			if !j.clock.Step() {
+				panic("jvm: event queue drained before progress target")
+			}
+			if j.progress+eps >= target {
+				j.clock.Cancel(marker)
+				break
+			}
+		}
+	}
+	return j.clock.Now().Sub(start)
+}
+
+// DrainPause advances the clock to the end of any stop-the-world pause in
+// progress, so that a following measurement starts from running mutators.
+// A collection firing exactly at the pause end can open a new pause; the
+// loop drains those too.
+func (j *JVM) DrainPause() {
+	for j.resumeAt > j.clock.Now() {
+		end := j.resumeAt
+		j.clock.Run(end)
+		j.advance(end)
+	}
+}

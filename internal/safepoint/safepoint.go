@@ -1,0 +1,85 @@
+// Package safepoint models HotSpot's stop-the-world safepoint protocol.
+//
+// Every collection pause in the paper's study begins with a safepoint: the
+// VM arms polling pages and waits until every Java thread parks (§2). The
+// time-to-safepoint (TTSP) is paid before any GC work starts and grows
+// with the number of runnable threads, because the last straggler (a
+// thread in a long counted loop or a JNI return) sets the latency.
+package safepoint
+
+import (
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/xrand"
+)
+
+// Reason identifies why a safepoint was requested.
+type Reason int
+
+// Safepoint reasons relevant to the study. (HotSpot has more — code
+// deoptimization, biased-lock revocation, etc. (§2) — but only GC-related
+// safepoints matter for the reproduced experiments.)
+const (
+	ReasonMinorGC Reason = iota
+	ReasonFullGC
+	ReasonInitialMark
+	ReasonRemark
+	ReasonMixedGC
+	ReasonCleanup
+)
+
+// String returns the HotSpot-style name of the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonMinorGC:
+		return "GenCollectForAllocation"
+	case ReasonFullGC:
+		return "FullGCALot"
+	case ReasonInitialMark:
+		return "CMS_Initial_Mark"
+	case ReasonRemark:
+		return "CMS_Final_Remark"
+	case ReasonMixedGC:
+		return "G1IncCollectionPause"
+	case ReasonCleanup:
+		return "Cleanup"
+	default:
+		return "Unknown"
+	}
+}
+
+// Model prices time-to-safepoint.
+type Model struct {
+	// Base is the fixed arming/notification latency.
+	Base simtime.Duration
+	// PerThread is the expected additional straggler latency contributed
+	// per runnable thread.
+	PerThread simtime.Duration
+	// JitterFrac is the relative spread applied to each drawn TTSP.
+	JitterFrac float64
+}
+
+// Default returns the calibrated safepoint model: ~50 µs base plus ~15 µs
+// per runnable thread, with 30% jitter. On the paper's 48-thread
+// workloads this yields sub-millisecond TTSP, which is the regime HotSpot
+// operates in when no thread misbehaves.
+func Default() Model {
+	return Model{
+		Base:       50 * simtime.Microsecond,
+		PerThread:  15 * simtime.Microsecond,
+		JitterFrac: 0.3,
+	}
+}
+
+// TTSP draws a time-to-safepoint for the given number of runnable
+// threads.
+func (m Model) TTSP(threads int, rng *xrand.Rand) simtime.Duration {
+	if threads < 1 {
+		threads = 1
+	}
+	mean := m.Base + simtime.Duration(threads)*m.PerThread
+	d := simtime.Duration(rng.Jitter(float64(mean), m.JitterFrac))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

@@ -1,0 +1,70 @@
+package safepoint
+
+import (
+	"testing"
+
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/xrand"
+)
+
+func TestReasonStrings(t *testing.T) {
+	cases := map[Reason]string{
+		ReasonMinorGC:     "GenCollectForAllocation",
+		ReasonFullGC:      "FullGCALot",
+		ReasonInitialMark: "CMS_Initial_Mark",
+		ReasonRemark:      "CMS_Final_Remark",
+		ReasonMixedGC:     "G1IncCollectionPause",
+		ReasonCleanup:     "Cleanup",
+		Reason(99):        "Unknown",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestTTSPGrowsWithThreads(t *testing.T) {
+	m := Default()
+	mean := func(threads int) simtime.Duration {
+		rng := xrand.New(1)
+		var sum simtime.Duration
+		const n = 2000
+		for i := 0; i < n; i++ {
+			sum += m.TTSP(threads, rng)
+		}
+		return sum / n
+	}
+	if m1, m48 := mean(1), mean(48); m48 <= m1 {
+		t.Errorf("TTSP(48)=%v <= TTSP(1)=%v", m48, m1)
+	}
+}
+
+func TestTTSPSubMillisecondAt48Threads(t *testing.T) {
+	m := Default()
+	rng := xrand.New(2)
+	for i := 0; i < 1000; i++ {
+		if d := m.TTSP(48, rng); d >= simtime.Millisecond*2 || d < 0 {
+			t.Fatalf("TTSP = %v", d)
+		}
+	}
+}
+
+func TestTTSPClampsThreads(t *testing.T) {
+	m := Default()
+	a := m.TTSP(0, xrand.New(3))
+	b := m.TTSP(1, xrand.New(3))
+	if a != b {
+		t.Errorf("TTSP(0)=%v != TTSP(1)=%v", a, b)
+	}
+}
+
+func TestTTSPDeterministic(t *testing.T) {
+	m := Default()
+	r1, r2 := xrand.New(7), xrand.New(7)
+	for i := 0; i < 100; i++ {
+		if m.TTSP(10, r1) != m.TTSP(10, r2) {
+			t.Fatal("TTSP not deterministic")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package stats
+
+import "sort"
+
+// Interval is a half-open time interval [Start, End) in seconds, used to
+// represent GC pauses when correlating them with request latencies.
+type Interval struct {
+	Start, End float64
+}
+
+// Overlaps reports whether two intervals intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// LatencySample is one completed client operation: the instant it
+// completed (seconds since experiment start) and its latency in
+// milliseconds.
+type LatencySample struct {
+	Completed float64 // seconds
+	LatencyMS float64
+}
+
+// interval returns the operation's service interval in seconds.
+func (s LatencySample) interval() Interval {
+	return Interval{Start: s.Completed - s.LatencyMS/1e3, End: s.Completed}
+}
+
+// BandRow is one row pair of the paper's Tables 5–7: the percentage of
+// requests in a latency band, and the percentage of GC pauses that
+// coincide with at least one request in that band.
+type BandRow struct {
+	Label string
+	Reqs  float64 // % of requests in the band
+	GCs   float64 // % of GCs with an overlapping request in the band
+}
+
+// BandReport is the paper's Tables 5–7 statistic block for one operation
+// type under one collector.
+type BandReport struct {
+	N      int64
+	AvgMS  float64
+	MaxMS  float64
+	MinMS  float64
+	Normal BandRow   // 0.5x–1.5x AVG
+	Above  []BandRow // >2x, >4x, >8x, ... AVG
+}
+
+// AnalyzeBands computes the band statistics of Tables 5–7.
+//
+// Bands follow the paper's §4.2 construction: the "normal" band holds
+// latencies within 0.5×–1.5× of the average; the exceedance bands hold
+// latencies above 2ⁿ× the average for n = 1, 2, 3, …, extended until the
+// request percentage falls below minReqPct (the paper stops "until the
+// percentage of points became too close to 0").
+//
+// The %GCs column counts, for each band, the fraction of GC pauses that
+// overlap at least one request whose latency lies in that band. For the
+// normal band it instead counts pauses whose overlapping requests ALL lie
+// within it — a GC invisible in the latency signal — which is how the
+// paper's tables arrive at 0.0% there while every exceedance band shows
+// ~100%.
+func AnalyzeBands(samples []LatencySample, pauses []Interval, minReqPct float64) BandReport {
+	var rep BandReport
+	if len(samples) == 0 {
+		return rep
+	}
+	var w Welford
+	for _, s := range samples {
+		w.Add(s.LatencyMS)
+	}
+	rep.N = w.N()
+	rep.AvgMS = w.Mean()
+	rep.MinMS = w.Min()
+	rep.MaxMS = w.Max()
+	avg := rep.AvgMS
+	n := float64(len(samples))
+
+	// Sort samples by completion for the overlap sweep.
+	byTime := append([]LatencySample(nil), samples...)
+	sort.Slice(byTime, func(i, j int) bool { return byTime[i].Completed < byTime[j].Completed })
+
+	// For each pause, find the worst overlapping latency and whether any
+	// overlapping request exists.
+	worst := make([]float64, len(pauses))
+	hasReq := make([]bool, len(pauses))
+	for pi, p := range pauses {
+		// Requests completing after the pause starts can overlap it;
+		// binary-search the first candidate.
+		i := sort.Search(len(byTime), func(k int) bool { return byTime[k].Completed > p.Start })
+		for ; i < len(byTime); i++ {
+			s := byTime[i]
+			if s.interval().Overlaps(p) {
+				hasReq[pi] = true
+				if s.LatencyMS > worst[pi] {
+					worst[pi] = s.LatencyMS
+				}
+				continue
+			}
+			// Once a request's whole interval starts after the pause
+			// ends, no later request can overlap (latencies vary, so scan
+			// a grace window before giving up).
+			if s.Completed-s.LatencyMS/1e3 > p.End && s.Completed > p.End+60 {
+				break
+			}
+		}
+	}
+	gcTotal := float64(len(pauses))
+
+	// Normal band: 0.5x–1.5x.
+	lo, hi := 0.5*avg, 1.5*avg
+	inNormal := 0
+	for _, s := range samples {
+		if s.LatencyMS >= lo && s.LatencyMS <= hi {
+			inNormal++
+		}
+	}
+	quiet := 0
+	for pi := range pauses {
+		if hasReq[pi] && worst[pi] <= hi {
+			quiet++
+		}
+	}
+	rep.Normal = BandRow{Label: "0.5x-1.5x AVG", Reqs: 100 * float64(inNormal) / n}
+	if gcTotal > 0 {
+		rep.Normal.GCs = 100 * float64(quiet) / gcTotal
+	}
+
+	// Exceedance bands: >2x, >4x, >8x, ...
+	for mult := 2.0; ; mult *= 2 {
+		thresh := mult * avg
+		count := 0
+		for _, s := range samples {
+			if s.LatencyMS > thresh {
+				count++
+			}
+		}
+		pct := 100 * float64(count) / n
+		if pct < minReqPct && len(rep.Above) > 0 {
+			break
+		}
+		row := BandRow{Label: bandLabel(mult), Reqs: pct}
+		if gcTotal > 0 {
+			hit := 0
+			for pi := range pauses {
+				if worst[pi] > thresh {
+					hit++
+				}
+			}
+			row.GCs = 100 * float64(hit) / gcTotal
+		}
+		rep.Above = append(rep.Above, row)
+		if count == 0 {
+			break
+		}
+	}
+	return rep
+}
+
+func bandLabel(mult float64) string {
+	switch mult {
+	case 2:
+		return ">2x AVG"
+	case 4:
+		return ">4x AVG"
+	case 8:
+		return ">8x AVG"
+	case 16:
+		return ">16x AVG"
+	case 32:
+		return ">32x AVG"
+	case 64:
+		return ">64x AVG"
+	case 128:
+		return ">128x AVG"
+	case 256:
+		return ">256x AVG"
+	default:
+		return ">>AVG"
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"jvmgc/internal/xrand"
+)
+
+// mkClientRun builds a synthetic client trace: steady ~1ms operations at
+// 100/s over 1000s, plus pause shadows — during each GC pause the
+// operation in flight observes the pause duration.
+func mkClientRun() ([]LatencySample, []Interval) {
+	rng := xrand.New(7)
+	var pauses []Interval
+	for i := 1; i <= 9; i++ {
+		start := float64(i) * 100
+		pauses = append(pauses, Interval{Start: start, End: start + 0.5})
+	}
+	var samples []LatencySample
+	pi := 0
+	for t := 0.0; t < 1000; t += 0.01 {
+		lat := rng.Jitter(1.0, 0.2) // ms
+		// A closed-loop client issues the op that hits the pause and then
+		// stalls: the in-flight op absorbs the rest of the pause, and the
+		// client resumes after the pause end.
+		for pi < len(pauses) && t > pauses[pi].End {
+			pi++
+		}
+		if pi < len(pauses) && t >= pauses[pi].Start && t < pauses[pi].End {
+			lat += (pauses[pi].End - t) * 1e3
+			samples = append(samples, LatencySample{Completed: t + lat/1e3, LatencyMS: lat})
+			t = pauses[pi].End // skip to pause end; loop's += 0.01 resumes pacing
+			continue
+		}
+		samples = append(samples, LatencySample{Completed: t + lat/1e3, LatencyMS: lat})
+	}
+	return samples, pauses
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{0, 2}
+	cases := []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{1, 3}, true},
+		{Interval{2, 3}, false}, // half-open: touching doesn't overlap
+		{Interval{-1, 0}, false},
+		{Interval{0.5, 1.5}, true},
+		{Interval{-1, 5}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v", a, c.b, got)
+		}
+	}
+}
+
+func TestAnalyzeBandsEmpty(t *testing.T) {
+	rep := AnalyzeBands(nil, nil, 0.001)
+	if rep.N != 0 || rep.AvgMS != 0 {
+		t.Error("empty report nonzero")
+	}
+}
+
+func TestAnalyzeBandsShape(t *testing.T) {
+	samples, pauses := mkClientRun()
+	rep := AnalyzeBands(samples, pauses, 0.001)
+
+	if rep.N != int64(len(samples)) {
+		t.Errorf("N = %d", rep.N)
+	}
+	// Average stays near the base latency: spikes are rare.
+	if rep.AvgMS < 0.8 || rep.AvgMS > 2.0 {
+		t.Errorf("avg = %v ms", rep.AvgMS)
+	}
+	// Max is a pause shadow (~500ms).
+	if rep.MaxMS < 300 || rep.MaxMS > 700 {
+		t.Errorf("max = %v ms", rep.MaxMS)
+	}
+	// The vast majority of requests are in the normal band, and no GC is
+	// invisible (every pause produced a shadow far above 1.5x).
+	if rep.Normal.Reqs < 90 {
+		t.Errorf("normal band reqs = %v%%", rep.Normal.Reqs)
+	}
+	if rep.Normal.GCs != 0 {
+		t.Errorf("normal band GCs = %v%%, want 0", rep.Normal.GCs)
+	}
+	// Every exceedance band that exists must have 100% GC coverage here:
+	// all pauses are long enough to push some request beyond any band
+	// below 500x.
+	if len(rep.Above) == 0 {
+		t.Fatal("no exceedance bands")
+	}
+	for _, row := range rep.Above[:3] {
+		if row.GCs != 100 {
+			t.Errorf("band %s GCs = %v%%, want 100", row.Label, row.GCs)
+		}
+	}
+	// Band request percentages decrease monotonically.
+	for i := 1; i < len(rep.Above); i++ {
+		if rep.Above[i].Reqs > rep.Above[i-1].Reqs {
+			t.Errorf("band %s reqs %v > previous %v",
+				rep.Above[i].Label, rep.Above[i].Reqs, rep.Above[i-1].Reqs)
+		}
+	}
+}
+
+func TestAnalyzeBandsStopsAtMinPct(t *testing.T) {
+	samples, pauses := mkClientRun()
+	short := AnalyzeBands(samples, pauses, 5.0)
+	long := AnalyzeBands(samples, pauses, 0.0001)
+	if len(short.Above) > len(long.Above) {
+		t.Errorf("higher cutoff produced more bands: %d vs %d", len(short.Above), len(long.Above))
+	}
+	if len(short.Above) < 1 {
+		t.Error("cutoff removed all bands")
+	}
+}
+
+func TestAnalyzeBandsNoGCs(t *testing.T) {
+	samples, _ := mkClientRun()
+	rep := AnalyzeBands(samples, nil, 0.001)
+	if rep.Normal.GCs != 0 {
+		t.Errorf("GCs%% without pauses = %v", rep.Normal.GCs)
+	}
+	for _, row := range rep.Above {
+		if row.GCs != 0 {
+			t.Errorf("band %s GCs = %v without pauses", row.Label, row.GCs)
+		}
+	}
+}
+
+func TestAnalyzeBandsQuietGC(t *testing.T) {
+	// A pause overlapped only by normal-latency requests must count in
+	// the normal band's GC column.
+	samples := []LatencySample{
+		{Completed: 10.0, LatencyMS: 1},
+		{Completed: 10.001, LatencyMS: 1},
+		{Completed: 20.0, LatencyMS: 1},
+	}
+	pauses := []Interval{{Start: 9.9995, End: 10.0005}}
+	rep := AnalyzeBands(samples, pauses, 0.001)
+	if rep.Normal.GCs != 100 {
+		t.Errorf("quiet GC not counted: %v%%", rep.Normal.GCs)
+	}
+}
+
+func TestBandLabels(t *testing.T) {
+	for mult, want := range map[float64]string{2: ">2x AVG", 4: ">4x AVG", 8: ">8x AVG", 16: ">16x AVG", 32: ">32x AVG", 64: ">64x AVG", 512: ">>AVG"} {
+		if got := bandLabel(mult); got != want {
+			t.Errorf("bandLabel(%v) = %q", mult, got)
+		}
+	}
+}
+
+func TestAnalyzeBandsReqPercentagesSumSanity(t *testing.T) {
+	samples, pauses := mkClientRun()
+	rep := AnalyzeBands(samples, pauses, 0.001)
+	// Normal + everything above 2x cannot exceed 100% (plus the gap
+	// between 1.5x and 2x).
+	if rep.Normal.Reqs+rep.Above[0].Reqs > 100+1e-9 {
+		t.Errorf("bands overlap: %v + %v", rep.Normal.Reqs, rep.Above[0].Reqs)
+	}
+	if math.IsNaN(rep.Normal.Reqs) {
+		t.Error("NaN percentage")
+	}
+}

@@ -1,0 +1,178 @@
+// Package stats implements the statistical post-processing the paper
+// applies to its measurements: relative standard deviations for the
+// benchmark-stability selection (Table 2), latency-band analysis for the
+// client-side study (Tables 5–7), and the ±5% TLAB influence classifier
+// (Table 4).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs,
+// or 0 when fewer than two values are present.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// RSD returns the relative standard deviation of xs as a percentage
+// (100·σ/μ), the stability metric of the paper's Table 2. It returns 0
+// for fewer than two values or a zero mean.
+func RSD(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return 100 * StdDev(xs) / m
+}
+
+// MinMax returns the smallest and largest values of xs. It returns an
+// error for an empty slice.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, errors.New("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank interpolation. It returns an error for an empty slice or a
+// p outside [0, 100].
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 100 {
+		return sorted[len(sorted)-1], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo], nil
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}
+
+// Welford is a streaming mean/variance/min/max accumulator, used where
+// the million-point client runs would be wasteful to buffer.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of values folded in.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest value seen (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest value seen (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// StdDev returns the running sample standard deviation.
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// TLABInfluence is the paper's Table 4 classification of whether enabling
+// the TLAB helped.
+type TLABInfluence int
+
+// Influence values, rendered as the paper's "+", "=", "-".
+const (
+	TLABNeutral  TLABInfluence = iota // "=": within the deviation band
+	TLABPositive                      // "+": enabling TLAB improved time
+	TLABNegative                      // "-": enabling TLAB degraded time
+)
+
+// String renders the influence symbol used in Table 4.
+func (t TLABInfluence) String() string {
+	switch t {
+	case TLABPositive:
+		return "+"
+	case TLABNegative:
+		return "-"
+	default:
+		return "="
+	}
+}
+
+// ClassifyTLAB applies the paper's §3.4 rule: with deviation = 5% of the
+// average of the two execution times, TLAB is positive when the run
+// without TLAB took longer than the run with TLAB plus the deviation,
+// negative in the symmetric case, neutral otherwise.
+func ClassifyTLAB(withTLAB, withoutTLAB float64) TLABInfluence {
+	dev := 0.05 * (withTLAB + withoutTLAB) / 2
+	switch {
+	case withoutTLAB > withTLAB+dev:
+		return TLABPositive
+	case withTLAB > withoutTLAB+dev:
+		return TLABNegative
+	default:
+		return TLABNeutral
+	}
+}

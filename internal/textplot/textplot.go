@@ -1,0 +1,149 @@
+// Package textplot renders scatter plots as terminal text, so the
+// laboratory's figures can be eyeballed without leaving the shell. It is
+// deliberately small: fixed-size character grid, linear axes, one glyph
+// per series, a legend, and nothing else.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named point set.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// Glyph is the character plotted for this series' points.
+	Glyph byte
+	// X and Y are the coordinates; the slices must have equal length.
+	X, Y []float64
+}
+
+// Scatter is a plot specification.
+type Scatter struct {
+	// Title is printed above the grid.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the grid dimensions in characters; zero
+	// selects 72×20.
+	Width, Height int
+}
+
+// defaultGlyphs assigns glyphs to series that don't pick one.
+var defaultGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto the grid. Series with mismatched X/Y
+// lengths or no points are skipped. An empty plot still renders axes.
+func (s Scatter) Render(series []Series) string {
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	// Bounds over all plottable points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, ser := range series {
+		if len(ser.X) != len(ser.Y) {
+			continue
+		}
+		for i := range ser.X {
+			x, y := ser.X[i], ser.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	// Anchor Y at zero for magnitude plots and avoid degenerate ranges.
+	if minY > 0 {
+		minY = 0
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, glyph byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		row := h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		grid[row][col] = glyph
+	}
+	for si, ser := range series {
+		if len(ser.X) != len(ser.Y) {
+			continue
+		}
+		glyph := ser.Glyph
+		if glyph == 0 {
+			glyph = defaultGlyphs[si%len(defaultGlyphs)]
+		}
+		for i := range ser.X {
+			plot(ser.X[i], ser.Y[i], glyph)
+		}
+	}
+
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	xLeft := fmt.Sprintf("%.3g", minX)
+	xRight := fmt.Sprintf("%.3g", maxX)
+	pad := w - len(xLeft) - len(xRight)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xLeft, strings.Repeat(" ", pad), xRight)
+	if s.XLabel != "" || s.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", margin), s.XLabel, s.YLabel)
+	}
+	// Legend.
+	var legend []string
+	for si, ser := range series {
+		glyph := ser.Glyph
+		if glyph == 0 {
+			glyph = defaultGlyphs[si%len(defaultGlyphs)]
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", glyph, ser.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), strings.Join(legend, "  "))
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	s := Scatter{Title: "demo", XLabel: "time", YLabel: "pause", Width: 40, Height: 10}
+	out := s.Render([]Series{
+		{Name: "a", Glyph: '*', X: []float64{0, 5, 10}, Y: []float64{1, 2, 3}},
+		{Name: "b", Glyph: 'o', X: []float64{2, 8}, Y: []float64{0.5, 2.5}},
+	})
+	for _, want := range []string{"demo", "*", "o", "*=a", "o=b", "x: time, y: pause"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Grid has exactly Height plot rows (lines containing " |").
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " |") {
+			rows++
+		}
+	}
+	if rows != 10 {
+		t.Errorf("plot rows = %d, want 10", rows)
+	}
+}
+
+func TestRenderExtremesLandOnEdges(t *testing.T) {
+	s := Scatter{Width: 21, Height: 5}
+	out := s.Render([]Series{{Name: "a", Glyph: '*', X: []float64{0, 100}, Y: []float64{0, 10}}})
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l)
+		}
+	}
+	top := plotLines[0]
+	bottom := plotLines[len(plotLines)-1]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Errorf("max point not at top-right: %q", top)
+	}
+	if !strings.Contains(bottom, "|*") {
+		t.Errorf("min point not at bottom-left: %q", bottom)
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	s := Scatter{Width: 20, Height: 4}
+	// No series at all: axes still render.
+	out := s.Render(nil)
+	if !strings.Contains(out, "+") {
+		t.Error("empty plot missing axis")
+	}
+	// Mismatched series is skipped (it still appears in the legend, just
+	// without points on the grid).
+	out = s.Render([]Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}})
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " |") && strings.Contains(line, "*") {
+			t.Errorf("mismatched series plotted: %q", line)
+		}
+	}
+	// NaN/Inf points are ignored.
+	out = s.Render([]Series{{Name: "n", Glyph: 'x', X: []float64{math.NaN(), 1}, Y: []float64{1, math.Inf(1)}}})
+	if strings.Contains(out, "x") && strings.Contains(out, "|x") {
+		t.Error("non-finite point plotted")
+	}
+	// Single point (degenerate range) renders without panic.
+	out = s.Render([]Series{{Name: "p", Glyph: 'p', X: []float64{5}, Y: []float64{5}}})
+	if !strings.Contains(out, "p") {
+		t.Error("single point missing")
+	}
+}
+
+func TestDefaultGlyphAssignment(t *testing.T) {
+	s := Scatter{Width: 20, Height: 4}
+	out := s.Render([]Series{
+		{Name: "first", X: []float64{1}, Y: []float64{1}},
+		{Name: "second", X: []float64{2}, Y: []float64{2}},
+	})
+	if !strings.Contains(out, "*=first") || !strings.Contains(out, "o=second") {
+		t.Errorf("default glyphs not assigned:\n%s", out)
+	}
+}
+
+func TestYAxisAnchoredAtZero(t *testing.T) {
+	s := Scatter{Width: 20, Height: 4}
+	out := s.Render([]Series{{Name: "a", Glyph: '*', X: []float64{0, 1}, Y: []float64{5, 9}}})
+	if !strings.Contains(out, "0") {
+		t.Errorf("y axis not anchored at zero:\n%s", out)
+	}
+}

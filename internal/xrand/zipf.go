@@ -1,0 +1,89 @@
+package xrand
+
+import "math"
+
+// Zipf draws integers in [0, n) with a zipfian distribution of the given
+// theta (YCSB's default key-chooser uses theta = 0.99). It implements the
+// Gray et al. "quickly generating billion-record synthetic databases"
+// method, which is what the original YCSB client uses, so key popularity
+// skew in the simulated client matches the real benchmark.
+type Zipf struct {
+	r     *Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a zipfian generator over [0, n) with parameter theta in
+// (0, 1). It panics if n == 0 or theta is out of range.
+func NewZipf(r *Rand, n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("xrand: NewZipf with zero n")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("xrand: NewZipf theta must be in (0,1)")
+	}
+	z := &Zipf{r: r, n: n, theta: theta}
+	z.alpha = 1 / (1 - theta)
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2 = zetaStatic(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// For large n it uses the Euler–Maclaurin integral approximation to keep
+// construction O(1)-ish; the approximation error is far below the noise the
+// simulator injects anyway.
+func zetaStatic(n uint64, theta float64) float64 {
+	const exactLimit = 1 << 20
+	if n <= exactLimit {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	sum := zetaStatic(exactLimit, theta)
+	// Integral of x^-theta from exactLimit to n.
+	a := float64(exactLimit)
+	b := float64(n)
+	sum += (math.Pow(b, 1-theta) - math.Pow(a, 1-theta)) / (1 - theta)
+	return sum
+}
+
+// N returns the size of the generator's domain.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Next returns the next zipfian-distributed value in [0, n). The most
+// popular item is 0.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// Scrambled returns the next zipfian value scrambled over the full domain
+// with an FNV-style hash, as YCSB's ScrambledZipfianGenerator does, so hot
+// keys are spread across the keyspace rather than clustered at the front.
+func (z *Zipf) Scrambled() uint64 {
+	v := z.Next()
+	h := v*0xc6a4a7935bd1e995 + 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 32
+	return h % z.n
+}

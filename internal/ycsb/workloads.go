@@ -1,0 +1,86 @@
+package ycsb
+
+import "fmt"
+
+// CoreWorkload identifies one of YCSB's standard core workloads (§2.2 of
+// the paper: "predefined core workloads that can be further extended").
+type CoreWorkload byte
+
+// The YCSB core workloads.
+const (
+	// WorkloadA: update heavy — 50% reads, 50% updates (the paper's
+	// custom workload has the same mix).
+	WorkloadA CoreWorkload = 'A'
+	// WorkloadB: read mostly — 95% reads, 5% updates.
+	WorkloadB CoreWorkload = 'B'
+	// WorkloadC: read only.
+	WorkloadC CoreWorkload = 'C'
+	// WorkloadD: read latest — 95% reads skewed to recent inserts,
+	// 5% inserts (modelled as updates against the newest keys).
+	WorkloadD CoreWorkload = 'D'
+	// WorkloadE: short ranges — 95% scans, 5% inserts. Scans touch many
+	// rows, so their base service time is a multiple of a point read's.
+	WorkloadE CoreWorkload = 'E'
+	// WorkloadF: read-modify-write — every operation reads then updates,
+	// paying both service times.
+	WorkloadF CoreWorkload = 'F'
+)
+
+// Describe returns the workload's standard one-line description.
+func (w CoreWorkload) Describe() string {
+	switch w {
+	case WorkloadA:
+		return "A: update heavy (50/50 read/update)"
+	case WorkloadB:
+		return "B: read mostly (95/5 read/update)"
+	case WorkloadC:
+		return "C: read only"
+	case WorkloadD:
+		return "D: read latest (95/5, recency-skewed)"
+	case WorkloadE:
+		return "E: short ranges (95/5 scan/insert)"
+	case WorkloadF:
+		return "F: read-modify-write"
+	default:
+		return "unknown workload"
+	}
+}
+
+// Config returns the TransactionConfig implementing the core workload,
+// carrying over seed and rate settings from base. Unknown letters return
+// an error.
+//
+// The trace generator models every operation as a read or an update with
+// a base service time; the workloads map onto that as follows: scans
+// (E) are reads with an 8x base (they touch ~50 rows with shared index
+// traversals); read-modify-write (F) operations are updates whose base
+// includes a preceding read.
+func (w CoreWorkload) Config(base TransactionConfig) (TransactionConfig, error) {
+	cfg := base.withDefaults()
+	switch w {
+	case WorkloadA:
+		cfg.ReadFraction = 0.5
+	case WorkloadB:
+		cfg.ReadFraction = 0.95
+	case WorkloadC:
+		cfg.ReadFraction = 1
+	case WorkloadD:
+		cfg.ReadFraction = 0.95
+		// Read-latest skew: the effective working set is small and hot,
+		// modelled with a sharper zipfian over a smaller keyspace.
+		cfg.ZipfTheta = 0.99
+		cfg.KeySpace = cfg.KeySpace / 100
+		if cfg.KeySpace == 0 {
+			cfg.KeySpace = 1000
+		}
+	case WorkloadE:
+		cfg.ReadFraction = 0.95
+		cfg.ReadBaseMS = cfg.ReadBaseMS * 8 // a scan touches ~50 rows
+	case WorkloadF:
+		cfg.ReadFraction = -1                                // every op is an update...
+		cfg.UpdateBaseMS = cfg.UpdateBaseMS + cfg.ReadBaseMS // ...that first reads
+	default:
+		return TransactionConfig{}, fmt.Errorf("ycsb: unknown core workload %q", string(w))
+	}
+	return cfg, nil
+}
