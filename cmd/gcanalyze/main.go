@@ -3,8 +3,10 @@
 // (which pauses would get a Cassandra node declared down).
 //
 // It reads logs in this laboratory's HotSpot-flavoured rendering — the
-// output of `gcsim -v`, `jvmgc.SimulationResult.LogText`, or any file in
-// the same format.
+// output of `gcsim -v`, `gctrace` (the unified-log export), or
+// `jvmgc.SimulationResult.LogText` — from the file argument, or from
+// stdin when no file is given. Parse errors abort with a non-zero exit
+// rather than printing partial statistics.
 //
 // Examples:
 //
@@ -27,18 +29,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, reads the log
+// from the named file (or stdin with no file argument), writes the
+// analysis to out, and returns the process exit code.
+func run(args []string, stdin io.Reader, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("gcanalyze", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		plot    = flag.Bool("plot", false, "render the pause timeline as an ASCII scatter")
-		timeout = flag.Duration("suspicion-timeout", 8*time.Second,
+		plot    = fs.Bool("plot", false, "render the pause timeline as an ASCII scatter")
+		timeout = fs.Duration("suspicion-timeout", 8*time.Second,
 			"gossip failure-detector timeout for the cluster-impact analysis (0 disables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(errw, "gcanalyze:", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
@@ -46,13 +60,14 @@ func main() {
 
 	log, err := gclog.Parse(in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(errw, "gcanalyze:", err)
+		return 1
 	}
 
-	fmt.Print(gclog.Summarize(log).Render())
-	fmt.Println()
-	fmt.Println("pause duration histogram:")
-	fmt.Print(gclog.Histogram(log))
+	fmt.Fprint(out, gclog.Summarize(log).Render())
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "pause duration histogram:")
+	fmt.Fprint(out, gclog.Histogram(log))
 
 	if *timeout > 0 {
 		fd := cassandra.FailureDetector{
@@ -60,8 +75,8 @@ func main() {
 			SuspicionTimeout:  simtime.FromStd(*timeout),
 		}
 		sus := fd.Analyze(log)
-		fmt.Println()
-		fmt.Println(cassandra.DescribeSuspicions("node", sus))
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, cassandra.DescribeSuspicions("node", sus))
 	}
 
 	if *plot {
@@ -76,12 +91,8 @@ func main() {
 			Title: "pause timeline", Width: 78, Height: 16,
 			XLabel: "time (s)", YLabel: "pause (s)",
 		}
-		fmt.Println()
-		fmt.Println(sc.Render([]textplot.Series{series}))
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, sc.Render([]textplot.Series{series}))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcanalyze:", err)
-	os.Exit(1)
+	return 0
 }

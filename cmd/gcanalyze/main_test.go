@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `# a comment line
+0.500: [GC (young) (Allocation Failure) 4GB->1GB, 0.0500 secs]
+2.000: [Full GC (Ergonomics) 10GB->3GB, 12.0000 secs]
+`
+
+func TestRunFromStdin(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(nil, strings.NewReader(sampleLog), &out, &errw)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"pauses:", "1 full GCs", "pause duration histogram:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The 12 s full pause trips the default 8 s failure-detector timeout.
+	if !strings.Contains(got, "suspect") && !strings.Contains(got, "timeout") {
+		t.Errorf("expected cluster-impact analysis in output:\n%s", got)
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-plot"}, strings.NewReader(sampleLog), &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "pause timeline") {
+		t.Errorf("expected timeline plot in output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsMalformedLog(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(nil, strings.NewReader("not a gc log\n"), &out, &errw)
+	if code == 0 {
+		t.Fatal("run accepted a malformed log")
+	}
+	if out.Len() != 0 {
+		t.Errorf("partial results printed despite parse error:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "gcanalyze:") {
+		t.Errorf("expected error on stderr, got %q", errw.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"/nonexistent/path.gclog"}, strings.NewReader(""), &out, &errw); code == 0 {
+		t.Fatal("run accepted a missing file")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Fatalf("run = %d, want 2 for bad flag", code)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +32,9 @@ func main() {
 		verbose       = flag.Bool("v", false, "print the full GC log")
 		asJSON        = flag.Bool("json", false, "emit the result as JSON")
 		trace         = flag.String("trace", "", "CSV allocation trace to replay (seconds,alloc_bytes_per_sec); overrides -alloc and -duration")
+		traceOut      = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
+		metricsOut    = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot of the run to this file")
+		sample        = flag.Duration("sample-interval", 100*time.Millisecond, "flight-recorder time-series sample interval (simulated time)")
 	)
 	flag.Parse()
 
@@ -58,6 +62,9 @@ func main() {
 		AllocBytesPerSec: float64(allocBytes),
 		Seed:             *seed,
 	}
+	if *traceOut != "" || *metricsOut != "" {
+		cfg.Recorder = jvmgc.NewRecorder(*sample)
+	}
 	var res *jvmgc.SimulationResult
 	if *trace != "" {
 		f, err := os.Open(*trace)
@@ -77,6 +84,19 @@ func main() {
 		}
 	}
 
+	if cfg.Recorder != nil {
+		if *traceOut != "" {
+			if err := writeExport(*traceOut, cfg.Recorder.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeExport(*metricsOut, cfg.Recorder.WritePrometheus); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -85,13 +105,35 @@ func main() {
 		}
 		return
 	}
+	// With -v the summary trails the log on stdout; render it as gclog
+	// comment lines so the output stays parseable (`gcsim -v | gcanalyze`).
+	prefix := ""
 	if *verbose {
 		fmt.Print(res.LogText)
+		prefix = "# "
 	}
-	fmt.Printf("collector=%s duration=%v pauses=%d full=%d totalPause=%v maxPause=%v heapUsed=%s oldLive=%s\n",
-		*collectorName, *duration, len(res.Pauses), res.FullGCs,
+	fmt.Printf("%scollector=%s duration=%v pauses=%d full=%d totalPause=%v maxPause=%v heapUsed=%s oldLive=%s\n",
+		prefix, *collectorName, *duration, len(res.Pauses), res.FullGCs,
 		res.TotalPause.Round(time.Microsecond), res.MaxPause.Round(time.Microsecond),
 		size(res.HeapUsed), size(res.OldLiveBytes))
+	sp := res.Safepoints
+	fmt.Printf("%ssafepoints=%d ttspTotal=%v ttspMean=%v p50=%v p95=%v p99=%v max=%v\n",
+		prefix, sp.Count, sp.Total.Round(time.Microsecond), sp.Mean.Round(time.Microsecond),
+		sp.P50.Round(time.Microsecond), sp.P95.Round(time.Microsecond),
+		sp.P99.Round(time.Microsecond), sp.Max.Round(time.Microsecond))
+}
+
+// writeExport writes one recorder export to path.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

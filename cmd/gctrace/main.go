@@ -1,0 +1,150 @@
+// Command gctrace runs one DaCapo-style benchmark under a chosen
+// collector with the flight recorder attached and writes all three
+// exports: a Chrome trace-event JSON (load it in Perfetto or
+// chrome://tracing), a Prometheus text-format metrics snapshot, and a
+// HotSpot-flavoured unified GC log that gcanalyze accepts.
+//
+// Attaching the recorder never changes simulation results — the run is
+// byte-identical to the same configuration without tracing.
+//
+// Example:
+//
+//	gctrace -bench xalan -gc g1
+//	gctrace -bench h2 -gc CMS -heap 8g -young 2g -o /tmp/h2cms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"jvmgc/internal/collector"
+	"jvmgc/internal/dacapo"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/telemetry"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "xalan", "DaCapo benchmark name")
+		gc         = flag.String("gc", "ParallelOld", "collector name (case-insensitive; g1, cms, parallelold, ...)")
+		heap       = flag.String("heap", "", "heap size (-Xms=-Xmx), e.g. 512m, 16g; empty selects the paper baseline")
+		young      = flag.String("young", "", "young generation size (-Xmn); empty selects ergonomics")
+		iterations = flag.Int("iterations", 10, "benchmark iterations")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		sample     = flag.Duration("sample-interval", 100*time.Millisecond, "time-series sample interval (simulated time)")
+		out        = flag.String("o", "", "output file prefix (default <bench>-<gc>)")
+	)
+	flag.Parse()
+
+	b, err := dacapo.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	gcName := collector.Normalize(*gc)
+
+	cfg := dacapo.BaselineConfig(b)
+	cfg.CollectorName = gcName
+	if *heap != "" {
+		h, err := parseSize(*heap)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Heap = machine.Bytes(h)
+	}
+	if *young != "" {
+		y, err := parseSize(*young)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Young = machine.Bytes(y)
+		cfg.YoungExplicit = true
+	}
+	if *iterations > 0 {
+		cfg.Iterations = *iterations
+	}
+	cfg.Seed = *seed
+	rec := telemetry.New(telemetry.Config{SampleInterval: simtime.FromStd(*sample)})
+	cfg.Recorder = rec
+
+	res, err := dacapo.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	prefix := *out
+	if prefix == "" {
+		prefix = fmt.Sprintf("%s-%s", b.Name, strings.ToLower(gcName))
+	}
+	exports := []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{prefix + ".trace.json", rec.WriteChromeTrace},
+		{prefix + ".prom", rec.WritePrometheus},
+		{prefix + ".gclog", rec.WriteUnifiedLog},
+	}
+	for _, e := range exports {
+		if err := writeExport(e.path, e.write); err != nil {
+			fatal(err)
+		}
+	}
+
+	p, full := res.Log.CountPauses()
+	fmt.Printf("benchmark=%s collector=%s iterations=%d total=%v pauses=%d full=%d totalPause=%v maxPause=%v\n",
+		b.Name, gcName, len(res.Iterations), res.Total,
+		p, full, res.Log.TotalPause(), res.Log.MaxPause())
+	fmt.Printf("recorded %d spans, %d samples, %d counters\n",
+		len(rec.Spans()), len(rec.Samples()), len(rec.Counters()))
+	for _, e := range exports {
+		fmt.Printf("wrote %s\n", e.path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gctrace:", err)
+	os.Exit(1)
+}
+
+// writeExport writes one recorder export to path.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseSize parses "512m", "16g", "100k" or a plain byte count.
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'm':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'g':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	return int64(v * float64(mult)), nil
+}

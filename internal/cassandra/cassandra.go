@@ -25,6 +25,7 @@ import (
 	"jvmgc/internal/jvm"
 	"jvmgc/internal/machine"
 	"jvmgc/internal/simtime"
+	"jvmgc/internal/telemetry"
 	"jvmgc/internal/xrand"
 )
 
@@ -98,6 +99,12 @@ type Config struct {
 
 	// Duration is the client-driven part of the run (paper: 1 h / 2 h).
 	Duration simtime.Duration
+
+	// Recorder, when non-nil, receives the node's flight-recorder stream:
+	// the server JVM's GC spans and time series plus storage-engine spans
+	// (commitlog replay, memtable flushes, compactions) on the cassandra
+	// track. Nil disables all telemetry at zero cost.
+	Recorder *telemetry.Recorder
 
 	Seed uint64
 }
@@ -274,6 +281,7 @@ func Run(cfg Config) (Result, error) {
 		// pause-target-driven sizing (fixing G1's young disables its pause
 		// goal, which no deployment does).
 		YoungExplicit: col.Name() != "G1",
+		Recorder:      cfg.Recorder,
 		Seed:          rng.Uint64(),
 	}, w)
 
@@ -296,6 +304,13 @@ func Run(cfg Config) (Result, error) {
 		start := j.Now()
 		j.RunFor(simtime.Seconds(replaySeconds))
 		res.ReplayDuration = j.Now().Sub(start)
+		if cfg.Recorder != nil {
+			cfg.Recorder.Span(telemetry.TrackCassandra, "commitlog-replay",
+				start, res.ReplayDuration, 0,
+				telemetry.ByteCount("replayed", cfg.PreloadBytes),
+			)
+			cfg.Recorder.Add("cassandra.replayed_bytes", int64(cfg.PreloadBytes))
+		}
 		memtable = float64(cfg.PreloadBytes)
 		records = int64(cfg.PreloadBytes / cfg.HeapPerRecord)
 		j.SetAllocRate(allocRate)
@@ -338,6 +353,15 @@ func Run(cfg Config) (Result, error) {
 			res.Flushes = append(res.Flushes, FlushEvent{
 				Time: j.Now(), Released: machine.Bytes(releasable),
 			})
+			if cfg.Recorder != nil {
+				cfg.Recorder.Span(telemetry.TrackCassandra, "memtable-flush",
+					j.Now(), 0, 0,
+					telemetry.ByteCount("released", machine.Bytes(releasable)),
+					telemetry.ByteCount("retained", machine.Bytes(memtable*cfg.RetentionFrac)),
+				)
+				cfg.Recorder.Add("cassandra.flushes", 1)
+				cfg.Recorder.Add("cassandra.flushed_bytes", int64(releasable))
+			}
 			retained += memtable * cfg.RetentionFrac
 			memtable = 0
 			pendingSSTables++
@@ -360,6 +384,14 @@ func Run(cfg Config) (Result, error) {
 				compactionLeft = int(secs/slice.Seconds()) + 1
 				pendingSSTables = 0
 				res.Compactions++
+				if cfg.Recorder != nil {
+					cfg.Recorder.Span(telemetry.TrackCassandra, "compaction",
+						j.Now(), simtime.Duration(compactionLeft)*slice, 0,
+						telemetry.ByteCount("merged", machine.Bytes(mergeBytes)),
+						telemetry.Num("threads", float64(cfg.CompactionThreads)),
+					)
+					cfg.Recorder.Add("cassandra.compactions", 1)
+				}
 				j.SetBackgroundCPU(cfg.CompactionThreads)
 			}
 		}
@@ -375,6 +407,9 @@ func Run(cfg Config) (Result, error) {
 	res.TotalDuration = j.Now().Sub(0)
 	res.Log = j.Log()
 	res.FinalOldLive = j.OldLive()
+	if cfg.Recorder != nil {
+		cfg.Recorder.Add("cassandra.ops_completed", res.OpsCompleted)
+	}
 	return res, nil
 }
 

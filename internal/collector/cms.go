@@ -97,3 +97,29 @@ func (c *CMS) ConcurrentMarkSeconds(s gcmodel.Snapshot) simtime.Duration {
 
 // MixedPause implements gcmodel.Collector; CMS has no mixed collections.
 func (*CMS) MixedPause(gcmodel.Snapshot, machine.Bytes) simtime.Duration { return 0 }
+
+// PausePhases implements gcmodel.PhaseDecomposer. Remark decomposes into
+// the card-rescan that dominates CMS pauses on large heaps, plus the
+// young-generation re-mark; the full-GC fallback adds the free-list sweep
+// to the usual mark-compact phases.
+func (c *CMS) PausePhases(kind gcmodel.PauseKind, s gcmodel.Snapshot, _ machine.Bytes) []gcmodel.PhaseWeight {
+	switch kind {
+	case gcmodel.PauseYoung:
+		return c.costs.MinorPhaseWeights(s, c.costs.PromoteFreeList)
+	case gcmodel.PauseFullGC:
+		return append(c.costs.FullPhaseWeights(s),
+			gcmodel.PhaseWeight{Name: "sweep", Weight: float64(s.HeapUsed) * c.costs.Sweep})
+	case gcmodel.PauseInitialMark:
+		return []gcmodel.PhaseWeight{
+			{Name: "root-scan", Weight: gcmodel.RootScanWork(s.MutatorThreads)},
+			{Name: "young-mark", Weight: float64(s.Survived) * 0.3 * c.costs.Mark},
+		}
+	case gcmodel.PauseRemark:
+		return []gcmodel.PhaseWeight{
+			{Name: "root-scan", Weight: gcmodel.RootScanWork(s.MutatorThreads)},
+			{Name: "card-rescan", Weight: float64(s.OldUsed) * c.costs.DirtyCardFrac * 3 * c.costs.CardScan},
+			{Name: "young-mark", Weight: float64(s.LiveYoung) * c.costs.Mark},
+		}
+	}
+	return nil
+}

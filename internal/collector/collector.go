@@ -27,6 +27,7 @@ package collector
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"jvmgc/internal/gcmodel"
 	"jvmgc/internal/machine"
@@ -81,9 +82,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Every collector here can explain its pauses to the flight recorder.
+var (
+	_ gcmodel.PhaseDecomposer = (*Serial)(nil)
+	_ gcmodel.PhaseDecomposer = (*ParNew)(nil)
+	_ gcmodel.PhaseDecomposer = (*Parallel)(nil)
+	_ gcmodel.PhaseDecomposer = (*ParallelOld)(nil)
+	_ gcmodel.PhaseDecomposer = (*CMS)(nil)
+	_ gcmodel.PhaseDecomposer = (*G1)(nil)
+	_ gcmodel.PhaseDecomposer = (*HTM)(nil)
+)
+
 // Names returns the collector names in the order the paper lists them.
 func Names() []string {
 	return []string{"Serial", "ParNew", "Parallel", "ParallelOld", "CMS", "G1"}
+}
+
+// Normalize maps a case-insensitive collector name or alias onto the
+// canonical name New accepts ("g1" -> "G1", "parallelold" ->
+// "ParallelOld"). Unrecognized names are returned unchanged so New can
+// produce its usual error.
+func Normalize(name string) string {
+	for _, canon := range append(append([]string{}, Names()...), ExperimentalNames()...) {
+		if strings.EqualFold(name, canon) || strings.EqualFold(name, canon+"GC") {
+			return canon
+		}
+	}
+	for _, alias := range []string{"ConcMarkSweepGC", "ConcurrentMarkSweep"} {
+		if strings.EqualFold(name, alias) {
+			return "CMS"
+		}
+	}
+	return name
 }
 
 // New constructs a collector by HotSpot name. Recognized names are those

@@ -136,3 +136,38 @@ func (c *G1) MixedPause(s gcmodel.Snapshot, reclaim machine.Bytes) simtime.Durat
 		liveCopied*c.costs.Copy
 	return c.costs.ParallelPause(s, work)
 }
+
+// PausePhases implements gcmodel.PhaseDecomposer. Every evacuation pause
+// carries an explicit remembered-set phase — G1's constant-factor tax —
+// and the full-GC decomposition surfaces the remset rebuild and
+// heap-proportional metadata work that make JDK 8 G1 full collections so
+// long.
+func (c *G1) PausePhases(kind gcmodel.PauseKind, s gcmodel.Snapshot, reclaim machine.Bytes) []gcmodel.PhaseWeight {
+	switch kind {
+	case gcmodel.PauseYoung:
+		return append(c.costs.MinorPhaseWeights(s, c.costs.PromoteBump),
+			gcmodel.PhaseWeight{Name: "remset", Weight: c.remsetWork(s)})
+	case gcmodel.PauseMixedGC:
+		return append(c.costs.MinorPhaseWeights(s, c.costs.PromoteBump),
+			gcmodel.PhaseWeight{Name: "remset", Weight: c.remsetWork(s)},
+			gcmodel.PhaseWeight{Name: "old-evac", Weight: float64(reclaim) * 0.3 * c.costs.Copy})
+	case gcmodel.PauseFullGC:
+		live := float64(s.LiveYoung + s.LiveOld)
+		return append(c.costs.FullPhaseWeights(s),
+			gcmodel.PhaseWeight{Name: "remset-rebuild", Weight: live * c.costs.RemSetWork},
+			gcmodel.PhaseWeight{Name: "heap-metadata", Weight: float64(s.Geo.Heap) * c.costs.G1FullHeapFactor})
+	case gcmodel.PauseInitialMark:
+		return []gcmodel.PhaseWeight{
+			{Name: "root-scan", Weight: gcmodel.RootScanWork(s.MutatorThreads)},
+			{Name: "root-mark", Weight: float64(s.Survived) * 0.2 * c.costs.Mark},
+		}
+	case gcmodel.PauseRemark:
+		return []gcmodel.PhaseWeight{
+			{Name: "root-scan", Weight: gcmodel.RootScanWork(s.MutatorThreads)},
+			{Name: "card-rescan", Weight: float64(s.OldUsed) * c.costs.DirtyCardFrac * 3 * c.costs.CardScan},
+			{Name: "satb-drain", Weight: float64(s.LiveOld) * 0.2 * c.costs.Mark},
+			{Name: "young-mark", Weight: float64(s.LiveYoung) * 0.5 * c.costs.Mark},
+		}
+	}
+	return nil
+}

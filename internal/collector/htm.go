@@ -118,3 +118,39 @@ func (c *HTM) ConcurrentMarkSeconds(s gcmodel.Snapshot) simtime.Duration {
 
 // MixedPause implements gcmodel.Collector; HTM has no mixed collections.
 func (*HTM) MixedPause(gcmodel.Snapshot, machine.Bytes) simtime.Duration { return 0 }
+
+// PausePhases implements gcmodel.PhaseDecomposer. HTM's pauses are
+// handshakes, so the decomposition is per-thread signalling plus the root
+// snapshot; only the fallback full compaction has conventional phases.
+func (c *HTM) PausePhases(kind gcmodel.PauseKind, s gcmodel.Snapshot, _ machine.Bytes) []gcmodel.PhaseWeight {
+	threads := s.MutatorThreads
+	if threads < 1 {
+		threads = 1
+	}
+	switch kind {
+	case gcmodel.PauseYoung:
+		return []gcmodel.PhaseWeight{
+			{Name: "handshake", Weight: float64(threads) * float64(8*machine.KB)},
+			{Name: "root-snapshot", Weight: float64(threads) * float64(24*machine.KB)},
+		}
+	case gcmodel.PauseFullGC:
+		live := float64(s.LiveYoung + s.LiveOld)
+		serial := (live * (c.costs.Mark + c.costs.Compact)) * (1 - c.costs.FullParallelFrac)
+		return []gcmodel.PhaseWeight{
+			{Name: "root-scan", Weight: gcmodel.RootScanWork(s.MutatorThreads)},
+			{Name: "mark", Weight: live * c.costs.Mark * c.costs.FullParallelFrac},
+			{Name: "summary", Weight: serial},
+			{Name: "compact", Weight: live * c.costs.Compact * c.costs.FullParallelFrac},
+		}
+	case gcmodel.PauseInitialMark:
+		return []gcmodel.PhaseWeight{
+			{Name: "handshake", Weight: float64(threads) * float64(16*machine.KB)},
+		}
+	case gcmodel.PauseRemark:
+		return []gcmodel.PhaseWeight{
+			{Name: "flip-handshake", Weight: float64(threads) * float64(32*machine.KB)},
+			{Name: "root-snapshot", Weight: float64(threads) * float64(16*machine.KB)},
+		}
+	}
+	return nil
+}

@@ -61,6 +61,17 @@ func (c *Serial) FullPause(s gcmodel.Snapshot) simtime.Duration {
 	return c.costs.SerialPause(s, c.costs.FullWork(s), s.HeapUsed)
 }
 
+// PausePhases implements gcmodel.PhaseDecomposer.
+func (c *Serial) PausePhases(kind gcmodel.PauseKind, s gcmodel.Snapshot, _ machine.Bytes) []gcmodel.PhaseWeight {
+	switch kind {
+	case gcmodel.PauseYoung:
+		return c.costs.MinorPhaseWeights(s, c.costs.PromoteBump)
+	case gcmodel.PauseFullGC:
+		return c.costs.FullPhaseWeights(s)
+	}
+	return nil
+}
+
 // ParNew is CMS's parallel young collector used standalone: parallel
 // copying young collections with fixed survivor sizing and free-list
 // promotion (it shares CMS's promotion code path), plus a single-threaded
@@ -100,6 +111,19 @@ func (c *ParNew) MinorPause(s gcmodel.Snapshot) simtime.Duration {
 // FullPause implements gcmodel.Collector: single-threaded mark-compact.
 func (c *ParNew) FullPause(s gcmodel.Snapshot) simtime.Duration {
 	return c.costs.SerialPause(s, c.costs.FullWork(s), s.HeapUsed)
+}
+
+// PausePhases implements gcmodel.PhaseDecomposer. The young promote phase
+// is priced at the free-list factor, the mechanism behind ParNew's
+// premature-promotion cost.
+func (c *ParNew) PausePhases(kind gcmodel.PauseKind, s gcmodel.Snapshot, _ machine.Bytes) []gcmodel.PhaseWeight {
+	switch kind {
+	case gcmodel.PauseYoung:
+		return c.costs.MinorPhaseWeights(s, c.costs.PromoteFreeList)
+	case gcmodel.PauseFullGC:
+		return c.costs.FullPhaseWeights(s)
+	}
+	return nil
 }
 
 // Parallel is the throughput collector without parallel compaction:
@@ -144,6 +168,17 @@ func (c *Parallel) FullPause(s gcmodel.Snapshot) simtime.Duration {
 	return c.costs.SerialPause(s, c.costs.FullWork(s), s.HeapUsed)
 }
 
+// PausePhases implements gcmodel.PhaseDecomposer.
+func (c *Parallel) PausePhases(kind gcmodel.PauseKind, s gcmodel.Snapshot, _ machine.Bytes) []gcmodel.PhaseWeight {
+	switch kind {
+	case gcmodel.PauseYoung:
+		return c.costs.MinorPhaseWeights(s, c.costs.PromoteBump)
+	case gcmodel.PauseFullGC:
+		return c.costs.FullPhaseWeights(s)
+	}
+	return nil
+}
+
 // ParallelOld is OpenJDK 8's default collector: Parallel's young
 // collections plus a parallel compacting full collection. Its adaptive
 // sizing makes it "behave as expected" in the paper's heap/young sweeps,
@@ -183,4 +218,24 @@ func (c *ParallelOld) MinorPause(s gcmodel.Snapshot) simtime.Duration {
 // its serial summary phase (FullParallelFrac).
 func (c *ParallelOld) FullPause(s gcmodel.Snapshot) simtime.Duration {
 	return c.costs.MixedParallelPause(s, c.costs.FullWork(s), c.costs.FullParallelFrac, s.HeapUsed)
+}
+
+// PausePhases implements gcmodel.PhaseDecomposer. The full decomposition
+// surfaces ParallelOld's serial summary phase (the Amdahl limiter) as its
+// own phase alongside the parallel mark and compact.
+func (c *ParallelOld) PausePhases(kind gcmodel.PauseKind, s gcmodel.Snapshot, _ machine.Bytes) []gcmodel.PhaseWeight {
+	switch kind {
+	case gcmodel.PauseYoung:
+		return c.costs.MinorPhaseWeights(s, c.costs.PromoteBump)
+	case gcmodel.PauseFullGC:
+		live := float64(s.LiveYoung + s.LiveOld)
+		serial := (live * (c.costs.Mark + c.costs.Compact)) * (1 - c.costs.FullParallelFrac)
+		return []gcmodel.PhaseWeight{
+			{Name: "root-scan", Weight: gcmodel.RootScanWork(s.MutatorThreads)},
+			{Name: "mark", Weight: live * c.costs.Mark * c.costs.FullParallelFrac},
+			{Name: "summary", Weight: serial},
+			{Name: "compact", Weight: live * c.costs.Compact * c.costs.FullParallelFrac},
+		}
+	}
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"jvmgc/internal/machine"
+	"jvmgc/internal/telemetry"
 )
 
 // Lab is the experiment context.
@@ -36,6 +37,14 @@ type Lab struct {
 	// Parallelism bounds the worker pool fanning independent experiment
 	// runs across cores; 0 selects GOMAXPROCS.
 	Parallelism int
+	// Recorder, when non-nil, receives core-track progress spans for the
+	// experiment runners (one span per sweep case or stability benchmark,
+	// tiled sequentially by simulated duration). Individual simulations
+	// are not instrumented through the Lab: their timelines all start at
+	// zero and would overlap. Runners that fan out across a worker pool
+	// buffer per-index and emit in index order after the pool drains, so
+	// the stream is deterministic regardless of Parallelism.
+	Recorder *telemetry.Recorder
 }
 
 // NewLab returns a laboratory with the paper's dimensions.
@@ -65,6 +74,14 @@ func GCNames() []string {
 
 // MainGCNames lists the three collectors of the client-server study.
 func MainGCNames() []string { return []string{"ParallelOld", "CMS", "G1"} }
+
+// boolNum renders a boolean as a numeric span attribute.
+func boolNum(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // renderTable lays out rows as an aligned text table.
 func renderTable(header []string, rows [][]string) string {

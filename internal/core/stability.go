@@ -5,7 +5,9 @@ import (
 	"sort"
 
 	"jvmgc/internal/dacapo"
+	"jvmgc/internal/simtime"
 	"jvmgc/internal/stats"
+	"jvmgc/internal/telemetry"
 )
 
 // StabilityRow is one benchmark's Table 2 entry.
@@ -34,6 +36,10 @@ type StabilityTable struct {
 func (l *Lab) TableStability() StabilityTable {
 	benches := dacapo.All()
 	rows := make([]StabilityRow, len(benches))
+	// Per-benchmark simulated time, buffered here and emitted as core
+	// spans in index order after the pool drains (the pool's completion
+	// order is scheduling-dependent; the telemetry stream must not be).
+	simTime := make([]simtime.Duration, len(benches))
 	// Benchmarks are independent; fan them out.
 	_ = l.forEach(len(benches), func(i int) error {
 		b := benches[i]
@@ -55,12 +61,29 @@ func (l *Lab) TableStability() StabilityTable {
 			}
 			finals = append(finals, res.Final().Seconds())
 			totals = append(totals, res.Total.Seconds())
+			simTime[i] += res.Total
 		}
 		row.FinalRSD = stats.RSD(finals)
 		row.TotalRSD = stats.RSD(totals)
 		row.Stable = row.FinalRSD <= 5 || row.TotalRSD <= 5
 		return nil
 	})
+	if l.Recorder != nil {
+		var cursor simtime.Time
+		for i, b := range benches {
+			if rows[i].Crashed {
+				continue
+			}
+			l.Recorder.Span(telemetry.TrackCore, "stability "+b.Name,
+				cursor, simTime[i], 0,
+				telemetry.Num("runs", float64(l.Runs)),
+				telemetry.Num("final_rsd", rows[i].FinalRSD),
+				telemetry.Num("stable", boolNum(rows[i].Stable)),
+			)
+			l.Recorder.Add("core.stability.benchmarks", 1)
+			cursor = cursor.Add(simTime[i])
+		}
+	}
 	out := StabilityTable{Rows: rows}
 	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].Benchmark < out.Rows[j].Benchmark })
 	return out

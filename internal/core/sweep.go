@@ -5,6 +5,8 @@ import (
 
 	"jvmgc/internal/dacapo"
 	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/telemetry"
 )
 
 // SweepCase is one heap/young configuration of Table 3.
@@ -60,6 +62,7 @@ func (l *Lab) TableHeapYoungSweep(bench, collectorName string, cases []SweepCase
 		return SweepTable{}, err
 	}
 	out := SweepTable{Benchmark: bench, Collector: collectorName}
+	var cursor simtime.Time
 	for _, c := range cases {
 		cfg := dacapo.BaselineConfig(b)
 		cfg.Machine = l.Machine
@@ -75,6 +78,18 @@ func (l *Lab) TableHeapYoungSweep(bench, collectorName string, cases []SweepCase
 			return SweepTable{}, err
 		}
 		p, full := res.Log.CountPauses()
+		if l.Recorder != nil {
+			l.Recorder.Span(telemetry.TrackCore,
+				fmt.Sprintf("sweep %v-%v", c.Heap, c.Young),
+				cursor, res.Total, 0,
+				telemetry.Str("benchmark", bench),
+				telemetry.Str(telemetry.AttrCollector, collectorName),
+				telemetry.Num("pauses", float64(p)),
+				telemetry.Num("full_gcs", float64(full)),
+			)
+			l.Recorder.Add("core.sweep.cases", 1)
+			cursor = cursor.Add(res.Total)
+		}
 		out.Rows = append(out.Rows, SweepRow{
 			Case:       c,
 			Pauses:     p,

@@ -12,6 +12,7 @@ import (
 	"jvmgc/internal/jvm"
 	"jvmgc/internal/machine"
 	"jvmgc/internal/simtime"
+	"jvmgc/internal/telemetry"
 	"jvmgc/internal/xrand"
 )
 
@@ -44,6 +45,10 @@ type RunConfig struct {
 	// WarmupIterations marks how many leading iterations are warm-up
 	// rounds (paper: all but the last; noise modelling uses the first 4).
 	WarmupIterations int
+	// Recorder, when non-nil, receives the run's flight-recorder stream:
+	// GC span trees, heap/safepoint time series, and per-iteration spans
+	// on the core track. Nil disables all telemetry at zero cost.
+	Recorder *telemetry.Recorder
 	// SizeFactor scales the benchmark's input size (DaCapo's
 	// small/default/large inputs): allocation volume and live sets scale
 	// proportionally while the iteration's wall time stays put. The
@@ -165,6 +170,7 @@ func Run(cfg RunConfig) (Result, error) {
 		Geometry:      heapmodel.Geometry{Heap: cfg.Heap, Young: cfg.Young, SurvivorRatio: heapmodel.DefaultSurvivorRatio},
 		YoungExplicit: cfg.YoungExplicit,
 		TLAB:          tlab,
+		Recorder:      cfg.Recorder,
 		Seed:          rng.Uint64(),
 	}, w)
 
@@ -198,7 +204,16 @@ func Run(cfg RunConfig) (Result, error) {
 			// traverses.
 			j.ReleaseMediumLived(0.7)
 		}
-		res.Iterations = append(res.Iterations, j.Now().Sub(start))
+		d := j.Now().Sub(start)
+		res.Iterations = append(res.Iterations, d)
+		if cfg.Recorder != nil {
+			name := fmt.Sprintf("iteration %d", it+1)
+			cfg.Recorder.Span(telemetry.TrackCore, name, start, d, 0,
+				telemetry.Str("benchmark", b.Name),
+				telemetry.Num("warmup", boolNum(it < cfg.WarmupIterations)),
+			)
+			cfg.Recorder.Add("dacapo.iterations", 1)
+		}
 	}
 	for _, d := range res.Iterations {
 		res.Total += d
@@ -211,4 +226,12 @@ func Run(cfg RunConfig) (Result, error) {
 // combineNoise combines independent relative noises in quadrature.
 func combineNoise(a, b float64) float64 {
 	return math.Sqrt(a*a + b*b)
+}
+
+// boolNum renders a boolean as a numeric span attribute.
+func boolNum(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -131,9 +131,9 @@ func (c Costs) PressureMultiplier(oldOccupancy float64) float64 {
 	return 1 + c.OldPressureMax*f
 }
 
-// rootScanWork estimates traversal bytes for scanning thread stacks and
+// RootScanWork estimates traversal bytes for scanning thread stacks and
 // globals: ~64 KB per runnable thread plus a 2 MB global base.
-func rootScanWork(mutators int) float64 {
+func RootScanWork(mutators int) float64 {
 	if mutators < 1 {
 		mutators = 1
 	}
@@ -156,14 +156,14 @@ func (c Costs) Jitter(d simtime.Duration, rng *xrand.Rand) simtime.Duration {
 // GC thread gang, plus root scanning, as a stop-the-world pause (without
 // TTSP, which the safepoint model adds).
 func (c Costs) ParallelPause(s Snapshot, work float64) simtime.Duration {
-	secs := s.Machine.ParallelSeconds(work+rootScanWork(s.MutatorThreads), s.GCThreads)
+	secs := s.Machine.ParallelSeconds(work+RootScanWork(s.MutatorThreads), s.GCThreads)
 	return c.Jitter(simtime.Seconds(secs), s.Rng)
 }
 
 // SerialPause prices `work` traversal bytes on a single thread, spanning
 // `span` bytes of address space (for the NUMA interleaving penalty).
 func (c Costs) SerialPause(s Snapshot, work float64, span machine.Bytes) simtime.Duration {
-	secs := s.Machine.SerialSeconds(work+rootScanWork(s.MutatorThreads), span)
+	secs := s.Machine.SerialSeconds(work+RootScanWork(s.MutatorThreads), span)
 	return c.Jitter(simtime.Seconds(secs), s.Rng)
 }
 
@@ -176,7 +176,7 @@ func (c Costs) MixedParallelPause(s Snapshot, work float64, parallelFrac float64
 	if parallelFrac > 1 {
 		parallelFrac = 1
 	}
-	par := s.Machine.ParallelSeconds(work*parallelFrac+rootScanWork(s.MutatorThreads), s.GCThreads)
+	par := s.Machine.ParallelSeconds(work*parallelFrac+RootScanWork(s.MutatorThreads), s.GCThreads)
 	ser := s.Machine.SerialSeconds(work*(1-parallelFrac), span)
 	return c.Jitter(simtime.Seconds(par+ser), s.Rng)
 }

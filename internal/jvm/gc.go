@@ -76,11 +76,16 @@ func (j *JVM) minorGC(cause string) {
 
 	kind := gclog.PauseMinor
 	var pause simtime.Duration
+	var segs []pauseSegment
 
 	switch {
 	case j.phase == cycleMixed && j.mixedRemaining > 0:
 		per := j.mixedReclaim / machine.Bytes(j.mixedRemaining)
-		pause = ttsp + j.col.MixedPause(s, per)
+		d := j.col.MixedPause(s, per)
+		pause = ttsp + d
+		if j.rec != nil {
+			segs = []pauseSegment{{kind: gcmodel.PauseMixedGC, d: d, reclaim: per}}
+		}
 		j.heap.FreeOld(per, 0)
 		j.mixedReclaim -= per
 		j.mixedRemaining--
@@ -89,11 +94,23 @@ func (j *JVM) minorGC(cause string) {
 		}
 		kind = gclog.PauseMixed
 	case j.phase == cycleInitialMarkPending && j.col.Concurrent().Kind == gcmodel.G1Style:
-		pause = ttsp + j.col.MinorPause(s) + j.col.InitialMarkPause(s)
+		md := j.col.MinorPause(s)
+		im := j.col.InitialMarkPause(s)
+		pause = ttsp + md + im
+		if j.rec != nil {
+			segs = []pauseSegment{
+				{kind: gcmodel.PauseYoung, d: md},
+				{label: "initial-mark", d: im},
+			}
+		}
 		kind = gclog.PauseInitialMark
 		j.startMarking()
 	default:
-		pause = ttsp + j.col.MinorPause(s)
+		d := j.col.MinorPause(s)
+		pause = ttsp + d
+		if j.rec != nil {
+			segs = []pauseSegment{{kind: gcmodel.PauseYoung, d: d}}
+		}
 	}
 
 	if res.Failed > 0 {
@@ -105,11 +122,34 @@ func (j *JVM) minorGC(cause string) {
 		} else if j.phase == cycleMarking || j.phase == cycleSweeping {
 			failCause = gclog.CauseConcurrentModeFailure
 		}
+		if j.rec != nil {
+			switch failCause {
+			case gclog.CausePromotionFailure:
+				j.rec.Add("gc.failures.promotion", 1)
+			case gclog.CauseEvacuationFailure:
+				j.rec.Add("gc.failures.evacuation", 1)
+			case gclog.CauseConcurrentModeFailure:
+				j.rec.Add("gc.failures.concurrent_mode", 1)
+			}
+		}
 		j.fullGCAt(failCause, pause, before)
 		return
 	}
 
-	j.beginPause(kind, cause, pause, before, j.heap.HeapUsed(), res.Promoted)
+	after := j.heap.HeapUsed()
+	if j.rec != nil {
+		switch kind {
+		case gclog.PauseMixed:
+			j.rec.Add("gc.collections.mixed", 1)
+		case gclog.PauseInitialMark:
+			j.rec.Add("gc.collections.initial_mark", 1)
+		default:
+			j.rec.Add("gc.collections.young", 1)
+		}
+		j.rec.Add("gc.promoted_bytes", int64(res.Promoted))
+		j.tracePause(kind, cause, now, pause, ttsp, before, after, res.Promoted, s, segs)
+	}
+	j.beginPause(kind, cause, pause, before, after, res.Promoted)
 	j.afterCollection(pause)
 }
 
@@ -144,13 +184,27 @@ func (j *JVM) fullGCAt(cause string, extra simtime.Duration, before machine.Byte
 		// report the failure instead of aborting mid-grid.
 		j.oomAt = now
 		j.oomBytes = heapShort
+		if j.rec != nil {
+			j.rec.Add("oom.events", 1)
+		}
 	}
 
 	// A full collection aborts any concurrent cycle.
 	j.cancelCycle()
 
-	pause := ttsp + extra + j.col.FullPause(s)
-	j.beginPause(gclog.PauseFull, cause, pause, before, j.heap.HeapUsed(), 0)
+	fp := j.col.FullPause(s)
+	pause := ttsp + extra + fp
+	after := j.heap.HeapUsed()
+	if j.rec != nil {
+		j.rec.Add("gc.collections.full", 1)
+		var segs []pauseSegment
+		if extra > 0 {
+			segs = append(segs, pauseSegment{label: "aborted-minor", d: extra})
+		}
+		segs = append(segs, pauseSegment{kind: gcmodel.PauseFullGC, d: fp})
+		j.tracePause(gclog.PauseFull, cause, now, pause, ttsp, before, after, 0, s, segs)
+	}
+	j.beginPause(gclog.PauseFull, cause, pause, before, after, 0)
 	j.afterCollection(pause)
 }
 
@@ -266,7 +320,14 @@ func (j *JVM) cmsInitialMark() {
 	s := j.snapshot()
 	s.Survived = j.heap.EdenUsed() + j.heap.SurvivorUsed()
 	ttsp := j.recordTTSP(j.cfg.Safepoint.TTSP(j.w.Threads, j.rng))
-	pause := ttsp + j.col.InitialMarkPause(s)
+	im := j.col.InitialMarkPause(s)
+	pause := ttsp + im
+	if j.rec != nil {
+		j.rec.Add("gc.collections.initial_mark", 1)
+		j.tracePause(gclog.PauseInitialMark, gclog.CauseOccupancyThreshold, now,
+			pause, ttsp, j.heap.HeapUsed(), j.heap.HeapUsed(), 0, s,
+			[]pauseSegment{{kind: gcmodel.PauseInitialMark, d: im}})
+	}
 	j.beginPause(gclog.PauseInitialMark, gclog.CauseOccupancyThreshold, pause,
 		j.heap.HeapUsed(), j.heap.HeapUsed(), 0)
 	j.startMarking()
@@ -290,6 +351,11 @@ func (j *JVM) startMarking() {
 		Collector: j.col.Name(), Cause: gclog.CauseOccupancyThreshold,
 		HeapBefore: j.heap.HeapUsed(), HeapAfter: j.heap.HeapUsed(),
 	})
+	if j.rec != nil {
+		j.rec.Add("gc.concurrent.cycles", 1)
+		j.traceConcurrent(gclog.ConcurrentMark, gclog.CauseOccupancyThreshold,
+			now, d, j.heap.HeapUsed(), j.heap.HeapUsed())
+	}
 	j.cycleEvent = j.clock.Schedule(start.Add(d), func() {
 		j.cycleEvent = nil
 		j.remark()
@@ -308,7 +374,14 @@ func (j *JVM) remark() {
 	s.LiveYoung = j.heap.EdenUsed() + j.heap.SurvivorUsed()
 	s.LiveOld = liveOld
 
-	pause := ttsp + j.col.RemarkPause(s)
+	rp := j.col.RemarkPause(s)
+	pause := ttsp + rp
+	if j.rec != nil {
+		j.rec.Add("gc.collections.remark", 1)
+		j.tracePause(gclog.PauseRemark, gclog.CauseOccupancyThreshold, now,
+			pause, ttsp, j.heap.HeapUsed(), j.heap.HeapUsed(), 0, s,
+			[]pauseSegment{{kind: gcmodel.PauseRemark, d: rp}})
+	}
 	j.beginPause(gclog.PauseRemark, gclog.CauseOccupancyThreshold, pause,
 		j.heap.HeapUsed(), j.heap.HeapUsed(), 0)
 
@@ -327,6 +400,10 @@ func (j *JVM) remark() {
 			Collector: j.col.Name(), Cause: gclog.CauseOccupancyThreshold,
 			HeapBefore: j.heap.HeapUsed(),
 		})
+		if j.rec != nil {
+			j.traceConcurrent(gclog.ConcurrentSweep, gclog.CauseOccupancyThreshold,
+				j.clock.Now(), pause+d, j.heap.HeapUsed(), 0)
+		}
 		end := j.resumeAt.Add(d)
 		j.cycleEvent = j.clock.Schedule(end, func() {
 			j.cycleEvent = nil

@@ -26,6 +26,7 @@ import (
 	"jvmgc/internal/machine"
 	"jvmgc/internal/safepoint"
 	"jvmgc/internal/simtime"
+	"jvmgc/internal/telemetry"
 	"jvmgc/internal/xrand"
 )
 
@@ -77,6 +78,11 @@ type Config struct {
 	GCThreads int
 	// Seed drives all randomness in this JVM.
 	Seed uint64
+	// Recorder, when non-nil, receives flight-recorder telemetry (GC
+	// spans with phase children, heap/CPU time series, counters). A nil
+	// recorder costs one pointer check per emission site and never
+	// changes simulation results.
+	Recorder *telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -153,9 +159,10 @@ type JVM struct {
 	oomBytes machine.Bytes
 
 	// Safepoint accounting (-XX:+PrintSafepointStatistics equivalent).
-	safepoints int
-	ttspTotal  simtime.Duration
-	ttspMax    simtime.Duration
+	sp safepoint.Stats
+
+	// rec receives flight-recorder telemetry; nil when disabled.
+	rec *telemetry.Recorder
 }
 
 // New constructs a JVM running the given workload. It panics on invalid
@@ -184,6 +191,7 @@ func New(cfg Config, w Workload) *JVM {
 		tracker: demography.NewTracker(w.Profile),
 		log:     gclog.New(),
 		rng:     xrand.New(cfg.Seed),
+		rec:     cfg.Recorder,
 	}
 
 	geo := cfg.Geometry
@@ -195,6 +203,7 @@ func New(cfg Config, w Workload) *JVM {
 	}
 	j.heap = heapmodel.NewHeap(geo)
 	j.scheduleEden()
+	j.scheduleSampler()
 	return j
 }
 
@@ -221,15 +230,18 @@ func (j *JVM) OldLive() machine.Bytes { return j.tracker.OldLive(j.clock.Now()) 
 // -XX:+PrintSafepointStatistics view of the run. TTSP is part of every
 // logged pause duration; this isolates it.
 func (j *JVM) SafepointStats() (count int, total, max simtime.Duration) {
-	return j.safepoints, j.ttspTotal, j.ttspMax
+	return j.sp.Count(), j.sp.Total(), j.sp.Max()
 }
+
+// SafepointDistribution exposes the full TTSP distribution (percentiles,
+// mean) accumulated over the run.
+func (j *JVM) SafepointDistribution() *safepoint.Stats { return &j.sp }
 
 // recordTTSP folds one safepoint's time-to-safepoint into the stats.
 func (j *JVM) recordTTSP(d simtime.Duration) simtime.Duration {
-	j.safepoints++
-	j.ttspTotal += d
-	if d > j.ttspMax {
-		j.ttspMax = d
+	j.sp.Record(d)
+	if j.rec != nil {
+		j.rec.Add("safepoint.count", 1)
 	}
 	return d
 }
@@ -312,6 +324,10 @@ func (j *JVM) advance(t simtime.Time) {
 		hum := machine.Bytes(float64(bytes) * j.w.HumongousFrac)
 		bytes -= hum
 		j.tracker.AllocateOld(t, j.heap.AddOld(hum))
+		if j.rec != nil && hum > 0 {
+			j.rec.Add("gc.humongous.allocations", 1)
+			j.rec.Add("gc.humongous.bytes", int64(hum))
+		}
 	}
 	accepted := j.heap.AllocateEden(bytes)
 	pieces := 1 + int(accepted/(j.effectiveEden()/4+1))

@@ -234,6 +234,21 @@ func (m *Machine) Speedup(n int) float64 {
 // parallel phase.
 func (m *Machine) Efficiency(n int) float64 { return m.Speedup(n) / float64(n) }
 
+// NUMARemoteShare returns the fraction of memory accesses a compactly
+// placed gang of n threads services from remote NUMA nodes — the share of
+// a parallel pause paying the remote penalty (telemetry attributes this
+// on GC spans).
+func (m *Machine) NUMARemoteShare(n int) float64 {
+	if n > m.Topo.Cores() {
+		n = m.Topo.Cores()
+	}
+	nodes := m.nodesSpannedF(n)
+	if nodes <= 1 {
+		return 0
+	}
+	return m.Cost.InterleaveRemoteFrac * (nodes - 1) / nodes
+}
+
 // ParallelSeconds prices `work` bytes of GC traversal performed by n
 // threads, including the phase spin-up cost.
 func (m *Machine) ParallelSeconds(work float64, n int) float64 {

@@ -1,0 +1,56 @@
+package safepoint
+
+import (
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/stats"
+)
+
+// Stats accumulates the time-to-safepoint distribution of a run — the
+// full -XX:+PrintSafepointStatistics picture rather than just
+// count/total/max. Samples are retained so percentiles are exact.
+type Stats struct {
+	samples []float64 // seconds
+	total   simtime.Duration
+	max     simtime.Duration
+	last    simtime.Duration
+}
+
+// Record folds one safepoint's TTSP into the distribution.
+func (s *Stats) Record(d simtime.Duration) {
+	s.samples = append(s.samples, d.Seconds())
+	s.total += d
+	if d > s.max {
+		s.max = d
+	}
+	s.last = d
+}
+
+// Count returns the number of safepoints recorded.
+func (s *Stats) Count() int { return len(s.samples) }
+
+// Total returns the summed TTSP across all safepoints.
+func (s *Stats) Total() simtime.Duration { return s.total }
+
+// Max returns the largest TTSP recorded.
+func (s *Stats) Max() simtime.Duration { return s.max }
+
+// Last returns the most recently recorded TTSP.
+func (s *Stats) Last() simtime.Duration { return s.last }
+
+// Mean returns the average TTSP, or zero with no samples.
+func (s *Stats) Mean() simtime.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.total / simtime.Duration(len(s.samples))
+}
+
+// Percentile returns the p-th percentile TTSP (0 <= p <= 100), or zero
+// with no samples.
+func (s *Stats) Percentile(p float64) simtime.Duration {
+	v, err := stats.Percentile(s.samples, p)
+	if err != nil {
+		return 0
+	}
+	return simtime.Seconds(v)
+}

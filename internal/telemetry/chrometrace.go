@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event JSON export (the "JSON Array Format" with a
+// traceEvents wrapper object), loadable in Perfetto and chrome://tracing.
+//
+// Each recorder track becomes one named thread row; spans become "X"
+// (complete) events with microsecond timestamps, child phase spans nest
+// inside their parent pause by interval containment; time-series samples
+// become "C" (counter) events so Perfetto draws heap occupancy and CPU
+// share as area charts under the spans.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// WriteChromeTrace renders the recording as Chrome trace-event JSON.
+// Output is deterministic: tracks are numbered in first-appearance order
+// and encoding/json emits map keys sorted.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	f := traceFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "jvmgc simulator"},
+	})
+
+	// One synthetic thread per track, in first-appearance order. tid 0 is
+	// reserved for counter series.
+	tids := map[string]int{}
+	spans := r.Spans()
+	for _, s := range spans {
+		if _, ok := tids[s.Track]; !ok {
+			tid := len(tids) + 1
+			tids[s.Track] = tid
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+				Args: map[string]any{"name": s.Track},
+			})
+		}
+	}
+
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name, Ph: "X", Pid: tracePid, Tid: tids[s.Track],
+			Ts:  s.Start.Seconds() * 1e6,
+			Dur: s.Duration.Seconds() * 1e6,
+			Cat: s.Track,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				if a.IsNum {
+					ev.Args[a.Key] = a.Num
+				} else {
+					ev.Args[a.Key] = a.Str
+				}
+			}
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+
+	for _, s := range r.Samples() {
+		ts := s.At.Seconds() * 1e6
+		f.TraceEvents = append(f.TraceEvents,
+			traceEvent{
+				Name: "heap occupancy", Ph: "C", Pid: tracePid, Ts: ts,
+				Args: map[string]any{
+					"eden":     float64(s.Eden),
+					"survivor": float64(s.Survivor),
+					"old":      float64(s.Old),
+				},
+			},
+			traceEvent{
+				Name: "cpu share", Ph: "C", Pid: tracePid, Ts: ts,
+				Args: map[string]any{
+					"mutator": s.MutatorUtil,
+					"gc":      s.GCCPU,
+				},
+			},
+			traceEvent{
+				Name: "alloc rate", Ph: "C", Pid: tracePid, Ts: ts,
+				Args: map[string]any{"bytes_per_sec": s.AllocRate},
+			},
+		)
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("telemetry: chrome trace export: %w", err)
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"jvmgc/internal/cassandra"
 	"jvmgc/internal/simtime"
 	"jvmgc/internal/stats"
+	"jvmgc/internal/telemetry"
 	"jvmgc/internal/xrand"
 )
 
@@ -68,7 +69,12 @@ type TransactionConfig struct {
 	// StartAfter delays the first arrival (seconds): clients cannot
 	// connect while the server replays its commitlog.
 	StartAfter float64
-	Seed       uint64
+	// Recorder, when non-nil, receives client-side telemetry: operation
+	// counters and one client-track span per pause-shadowed operation
+	// (the latency spikes of Figure 5, visible next to the GC spans that
+	// caused them). Nil disables all telemetry at zero cost.
+	Recorder *telemetry.Recorder
+	Seed     uint64
 }
 
 func (c TransactionConfig) withDefaults() TransactionConfig {
@@ -171,6 +177,21 @@ func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
 		}
 		op.Completed = t + op.LatencyMS/1e3
 		tr.Ops = append(tr.Ops, op)
+		if cfg.Recorder != nil {
+			if op.Type == Read {
+				cfg.Recorder.Add("ycsb.ops.read", 1)
+			} else {
+				cfg.Recorder.Add("ycsb.ops.update", 1)
+			}
+			if op.Shadowed {
+				cfg.Recorder.Add("ycsb.ops.shadowed", 1)
+				cfg.Recorder.Span(telemetry.TrackClient, op.Type.String(),
+					simtime.Time(simtime.Seconds(t)),
+					simtime.Seconds(op.LatencyMS/1e3), 0,
+					telemetry.Num("latency_ms", op.LatencyMS),
+				)
+			}
+		}
 	}
 	return tr
 }

@@ -45,9 +45,24 @@ import (
 	"jvmgc/internal/machine"
 	"jvmgc/internal/simtime"
 	"jvmgc/internal/stats"
+	"jvmgc/internal/telemetry"
 	"jvmgc/internal/traceload"
 	"jvmgc/internal/ycsb"
 )
+
+// Recorder is the JFR-style flight recorder (internal/telemetry): attach
+// one via SimulationConfig.Recorder to capture per-phase GC span trees,
+// heap/safepoint time series and counters, then export them with
+// WriteChromeTrace, WritePrometheus or WriteUnifiedLog. A nil recorder
+// disables all telemetry at zero cost.
+type Recorder = telemetry.Recorder
+
+// NewRecorder returns a flight recorder sampling the time series every
+// sampleInterval of simulated time (0 disables sampling, spans and
+// counters still record).
+func NewRecorder(sampleInterval time.Duration) *Recorder {
+	return telemetry.New(telemetry.Config{SampleInterval: simtime.FromStd(sampleInterval)})
+}
 
 // Collectors returns the supported collector names in the paper's order:
 // Serial, ParNew, Parallel, ParallelOld, CMS, G1.
@@ -103,8 +118,20 @@ type SimulationConfig struct {
 	ShortLifetime       time.Duration
 	MediumLivedFraction float64
 	MediumLifetime      time.Duration
+	// Recorder, when non-nil, receives the run's flight-recorder stream
+	// (GC span trees, time series, counters). Attaching one never changes
+	// simulation results: emission is read-only.
+	Recorder *Recorder
 	// Seed drives all randomness.
 	Seed uint64
+}
+
+// SafepointSummary is the run's time-to-safepoint distribution — the
+// -XX:+PrintSafepointStatistics picture.
+type SafepointSummary struct {
+	Count            int
+	Total, Max, Mean time.Duration
+	P50, P95, P99    time.Duration
 }
 
 // SimulationResult is the outcome of Simulate.
@@ -115,6 +142,8 @@ type SimulationResult struct {
 	FullGCs      int
 	HeapUsed     int64
 	OldLiveBytes int64
+	// Safepoints is the full TTSP distribution of the run.
+	Safepoints SafepointSummary
 	// LogText is the HotSpot-style rendering of the GC log.
 	LogText string
 }
@@ -169,6 +198,7 @@ func (c SimulationConfig) build() (jvm.Config, jvm.Workload, error) {
 		Geometry:      heapmodel.Geometry{Heap: heap, Young: young, SurvivorRatio: heapmodel.DefaultSurvivorRatio},
 		YoungExplicit: youngExplicit,
 		TLAB:          tlab,
+		Recorder:      c.Recorder,
 		Seed:          c.Seed,
 	}
 	w := jvm.Workload{Threads: threads, AllocRate: alloc, Profile: profile}
@@ -192,12 +222,22 @@ func Simulate(cfg SimulationConfig, duration time.Duration) (*SimulationResult, 
 
 func summarize(j *jvm.JVM) *SimulationResult {
 	log := j.Log()
+	sp := j.SafepointDistribution()
 	res := &SimulationResult{
 		TotalPause:   log.TotalPause().Std(),
 		MaxPause:     log.MaxPause().Std(),
 		HeapUsed:     int64(j.Heap().HeapUsed()),
 		OldLiveBytes: int64(j.OldLive()),
-		LogText:      log.String(),
+		Safepoints: SafepointSummary{
+			Count: sp.Count(),
+			Total: sp.Total().Std(),
+			Max:   sp.Max().Std(),
+			Mean:  sp.Mean().Std(),
+			P50:   sp.Percentile(50).Std(),
+			P95:   sp.Percentile(95).Std(),
+			P99:   sp.Percentile(99).Std(),
+		},
+		LogText: log.String(),
 	}
 	for _, e := range log.Pauses() {
 		res.Pauses = append(res.Pauses, Pause{
