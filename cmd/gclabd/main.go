@@ -1,0 +1,84 @@
+// Command gclabd runs the GC laboratory as a service: an HTTP/JSON job
+// daemon that schedules simulation jobs on a bounded worker pool and
+// memoizes results in a content-addressed cache (every job is
+// deterministic in its spec, so identical requests are answered with
+// byte-identical cached results).
+//
+//	gclabd -addr :8372
+//
+// Submit jobs, read status and scrape metrics:
+//
+//	curl -s localhost:8372/v1/jobs -d '{"kind":"simulate","collector":"G1","duration_seconds":120,"seed":7}'
+//	curl -s localhost:8372/v1/jobs -d '{"job":{"kind":"advise","heap_bytes":17179869184,"alloc_bytes_per_sec":6e8,"max_pause_ms":250},"async":true}'
+//	curl -s localhost:8372/v1/jobs/j1
+//	curl -s localhost:8372/metrics
+//	curl -s localhost:8372/healthz
+//
+// SIGTERM/SIGINT drain gracefully: intake stops (healthz flips to
+// draining), queued and running jobs finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jvmgc/internal/labd"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8372", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "FIFO backlog bound; beyond it submissions get HTTP 429")
+		cacheSize   = flag.Int("cache-entries", 256, "result cache bound (LRU eviction)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "default per-job queue+run timeout")
+		parallelism = flag.Int("parallelism", 1, "per-job worker fan-out for sweep kinds (advise, ranking)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	srv := labd.New(labd.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		Parallelism:    *parallelism,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "gclabd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "gclabd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "gclabd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop intake first (connections finish their in-flight responses),
+	// then wait for the scheduler to empty.
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gclabd: http shutdown:", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "gclabd: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "gclabd: drained cleanly")
+}

@@ -33,6 +33,7 @@ func main() {
 		out      = flag.String("out", "", "directory to write raw figure series into")
 		plot     = flag.Bool("plot", false, "render the figures as ASCII scatter plots")
 		extended = flag.Bool("extended", false, "also run the extension studies (nogc, machines, g1sweep, workloads, cluster, ext)")
+		par      = flag.Int("parallelism", 0, "worker pool size for independent experiment runs (0 = all cores); results are identical at any setting")
 		only     = flag.String("only", "", "run a single artifact: t2, f1, f2, t3, t4, f3, f4, f5, t8, nogc (§3.3 statistics), seeds (claim robustness), machines (topology sensitivity), g1sweep (pause-target frontier), workloads (YCSB A-F comparison), cluster (3-node ring extension), ext (HTM future-work study)")
 	)
 	flag.Parse()
@@ -42,6 +43,7 @@ func main() {
 	if *quick {
 		lab = core.QuickLab(*seed)
 	}
+	lab.Parallelism = *par
 
 	if *only != "" {
 		if err := runOne(lab, *only); err != nil {
@@ -51,7 +53,7 @@ func main() {
 		return
 	}
 
-	rep, err := jvmgc.ReproducePaper(*seed, *quick)
+	rep, err := lab.RunAll()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paper:", err)
 		os.Exit(1)

@@ -1,0 +1,123 @@
+// labservice: the GC laboratory as a service — start the labd job
+// daemon in-process, submit experiments over its HTTP/JSON API with the
+// Go client, and watch the content-addressed cache at work: the first
+// submission runs a simulation, every identical one after it is answered
+// from the cache with the exact same bytes.
+//
+// The same daemon runs standalone as cmd/gclabd; this example wires it
+// to an ephemeral port so it is runnable anywhere.
+//
+// Run with:
+//
+//	go run ./examples/labservice
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"jvmgc/internal/labd"
+	"jvmgc/internal/labd/client"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Start the daemon: 2 workers, a short backlog, LRU-bounded cache.
+	srv := labd.New(labd.Config{Workers: 2, QueueDepth: 16, CacheEntries: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("labd listening on %s\n\n", ts.URL)
+
+	c := client.New(ts.URL)
+	if err := c.Healthz(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// One experiment: a saturating allocation workload under CMS.
+	spec := labd.JobSpec{
+		Kind:             labd.KindSimulate,
+		Collector:        "CMS",
+		HeapBytes:        8 << 30,
+		Threads:          32,
+		AllocBytesPerSec: 500e6,
+		DurationSeconds:  120,
+		Seed:             7,
+	}
+
+	// Cold run: the daemon schedules and executes the simulation.
+	start := time.Now()
+	cold, err := c.Submit(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold run:  job %s  cache=%s  %d bytes  %v\n",
+		cold.JobID, cold.Cache, len(cold.Bytes), time.Since(start).Round(time.Microsecond))
+
+	// Same spec again: a cache hit, byte-identical to the cold run.
+	start = time.Now()
+	hit, err := c.Submit(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmit:  job %s  cache=%s  %d bytes  %v  byte-identical=%v\n\n",
+		hit.JobID, hit.Cache, len(hit.Bytes), time.Since(start).Round(time.Microsecond),
+		bytes.Equal(cold.Bytes, hit.Bytes))
+
+	// The result decodes into the laboratory's native types.
+	res, err := hit.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := res.Simulation
+	fmt.Printf("%s on 8g heap: %d pauses (%d full GCs), worst %v, %v paused in total\n\n",
+		spec.Collector, len(sim.Pauses), sim.FullGCs,
+		sim.MaxPause.Round(time.Millisecond), sim.TotalPause.Round(time.Millisecond))
+
+	// An advisory sweep through the same front door: which collector and
+	// young size meet a 200 ms pause SLO on this heap?
+	adv, err := c.Submit(ctx, labd.JobSpec{
+		Kind:             labd.KindAdvise,
+		HeapBytes:        8 << 30,
+		Threads:          32,
+		AllocBytesPerSec: 500e6,
+		DurationSeconds:  60,
+		MaxPauseMS:       200,
+		Seed:             7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	advRes, err := adv.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(advRes.Text)
+
+	// The daemon's own telemetry: job and cache counters plus scheduler
+	// gauges, in Prometheus text format.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("metrics excerpt:")
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "jvmgc_labd_") &&
+			(strings.Contains(line, "cache") || strings.Contains(line, "simulations") ||
+				strings.Contains(line, "submitted")) {
+			fmt.Println("  " + line)
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndaemon drained cleanly")
+}

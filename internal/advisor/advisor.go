@@ -47,6 +47,11 @@ type Request struct {
 	// Duration is the simulated evaluation window (default 5 minutes).
 	Duration simtime.Duration
 	Seed     uint64
+	// Parallelism bounds the worker pool evaluating candidates
+	// concurrently; 0 selects GOMAXPROCS. Every candidate is an
+	// independent simulation with its own JVM, so the ranking is
+	// identical at any parallelism.
+	Parallelism int
 }
 
 func (r Request) withDefaults() (Request, error) {
@@ -109,55 +114,77 @@ func (r Recommendation) Best() (Candidate, bool) {
 }
 
 // Advise evaluates every (collector, young size) candidate in simulation
-// and ranks them against the SLO.
+// and ranks them against the SLO. Candidates are independent simulations
+// and run on a worker pool bounded by Request.Parallelism; results land
+// by candidate index, so the ranking is deterministic regardless of
+// completion order.
 func Advise(req Request) (Recommendation, error) {
 	req, err := req.withDefaults()
 	if err != nil {
 		return Recommendation{}, err
 	}
-	var out Recommendation
+	type cand struct {
+		gcName string
+		young  machine.Bytes
+	}
+	var cands []cand
 	for _, gcName := range req.Collectors {
-		col, err := collector.New(gcName, collector.Config{Machine: req.Machine})
-		if err != nil {
+		// Validate the collector name up front so the pool only sees
+		// runnable candidates.
+		if _, err := collector.New(gcName, collector.Config{Machine: req.Machine}); err != nil {
 			return Recommendation{}, err
 		}
 		for _, young := range req.YoungSizes {
 			if young <= 0 || young > req.Heap {
 				continue
 			}
-			j := jvm.New(jvm.Config{
-				Machine:   req.Machine,
-				Collector: col,
-				Geometry: heapmodel.Geometry{
-					Heap: req.Heap, Young: young,
-					SurvivorRatio: heapmodel.DefaultSurvivorRatio,
-				},
-				YoungExplicit: true,
-				Seed:          req.Seed,
-			}, jvm.Workload{
-				Threads:   req.Workload.Threads,
-				AllocRate: req.Workload.AllocRate,
-				Profile:   req.Workload.Profile,
-			})
-			j.RunFor(req.Duration)
-
-			log := j.Log()
-			_, full := log.CountPauses()
-			c := Candidate{
-				Collector:  gcName,
-				Young:      young,
-				WorstPause: log.MaxPause(),
-				TotalPause: log.TotalPause(),
-				FullGCs:    full,
-			}
-			c.PauseFraction = float64(c.TotalPause) / float64(req.Duration)
-			_, _, c.OutOfMemory = j.OutOfMemory()
-			c.MeetsSLO = !c.OutOfMemory &&
-				(req.SLO.MaxPause <= 0 || c.WorstPause <= req.SLO.MaxPause) &&
-				(req.SLO.MaxPauseFraction <= 0 || c.PauseFraction <= req.SLO.MaxPauseFraction)
-			out.Candidates = append(out.Candidates, c)
+			cands = append(cands, cand{gcName, young})
 		}
 	}
+	results := make([]Candidate, len(cands))
+	err = forEach(req.Parallelism, len(cands), func(i int) error {
+		gcName, young := cands[i].gcName, cands[i].young
+		col, err := collector.New(gcName, collector.Config{Machine: req.Machine})
+		if err != nil {
+			return err
+		}
+		j := jvm.New(jvm.Config{
+			Machine:   req.Machine,
+			Collector: col,
+			Geometry: heapmodel.Geometry{
+				Heap: req.Heap, Young: young,
+				SurvivorRatio: heapmodel.DefaultSurvivorRatio,
+			},
+			YoungExplicit: true,
+			Seed:          req.Seed,
+		}, jvm.Workload{
+			Threads:   req.Workload.Threads,
+			AllocRate: req.Workload.AllocRate,
+			Profile:   req.Workload.Profile,
+		})
+		j.RunFor(req.Duration)
+
+		log := j.Log()
+		_, full := log.CountPauses()
+		c := Candidate{
+			Collector:  gcName,
+			Young:      young,
+			WorstPause: log.MaxPause(),
+			TotalPause: log.TotalPause(),
+			FullGCs:    full,
+		}
+		c.PauseFraction = float64(c.TotalPause) / float64(req.Duration)
+		_, _, c.OutOfMemory = j.OutOfMemory()
+		c.MeetsSLO = !c.OutOfMemory &&
+			(req.SLO.MaxPause <= 0 || c.WorstPause <= req.SLO.MaxPause) &&
+			(req.SLO.MaxPauseFraction <= 0 || c.PauseFraction <= req.SLO.MaxPauseFraction)
+		results[i] = c
+		return nil
+	})
+	if err != nil {
+		return Recommendation{}, err
+	}
+	out := Recommendation{Candidates: results}
 	sort.SliceStable(out.Candidates, func(i, j int) bool {
 		a, b := out.Candidates[i], out.Candidates[j]
 		if a.MeetsSLO != b.MeetsSLO {

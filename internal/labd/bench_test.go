@@ -1,0 +1,72 @@
+package labd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func benchSpec(seed uint64) JobSpec {
+	return JobSpec{
+		Kind:             KindSimulate,
+		Collector:        "ParallelOld",
+		HeapBytes:        2 << 30,
+		Threads:          8,
+		AllocBytesPerSec: 150e6,
+		DurationSeconds:  5,
+		Seed:             seed,
+	}
+}
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s := New(Config{Workers: 1, QueueDepth: 1 << 16, DefaultTimeout: time.Hour})
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s
+}
+
+// BenchmarkColdRun measures a full miss: every iteration uses a fresh
+// seed, so the scheduler queues, executes and marshals a simulation.
+func BenchmarkColdRun(b *testing.B) {
+	s := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.Submit(SubmitRequest{Job: benchSpec(uint64(i) + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Done()
+		if _, err := j.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures the memoized path: the cache is primed once
+// and every iteration is answered from stored bytes.
+func BenchmarkCacheHit(b *testing.B) {
+	s := benchServer(b)
+	j, err := s.Submit(SubmitRequest{Job: benchSpec(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-j.Done()
+	if _, err := j.Result(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.Submit(SubmitRequest{Job: benchSpec(1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Done()
+		if bytes, err := j.Result(); err != nil || len(bytes) == 0 {
+			b.Fatalf("cache hit: %d bytes, %v", len(bytes), err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package labd
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a content-addressed result store with single-flight
+// deduplication: the first miss for a key becomes the flight leader and
+// runs the simulation; concurrent requests for the same key attach to
+// that flight and share its outcome; later requests hit the stored bytes.
+// Completed results are bounded by an LRU policy on entry count —
+// results are immutable bytes, so eviction only costs recomputation.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int                      // entry bound (>=1)
+	byKey   map[string]*list.Element // key -> lru element
+	lru     *list.List               // front = most recently used
+	flights map[string]*flight
+}
+
+type cacheEntry struct {
+	key   string
+	bytes []byte
+}
+
+// flight is one in-progress execution of a key. done closes exactly once,
+// after bytes/err are set.
+type flight struct {
+	done  chan struct{}
+	bytes []byte
+	err   error
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:     max,
+		byKey:   make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// begin resolves a key: a cache hit returns the stored bytes; otherwise
+// the caller either joins an existing flight (leader=false) or becomes
+// the leader of a new one (leader=true) and must eventually call
+// complete with the same key.
+func (c *resultCache) begin(key string) (cached []byte, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(e)
+		return e.Value.(*cacheEntry).bytes, nil, false
+	}
+	if fl, ok := c.flights[key]; ok {
+		return nil, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	return nil, fl, true
+}
+
+// complete finishes a flight: on success the bytes are stored (evicting
+// the least-recently-used entry past the bound) and every joined waiter
+// is released with the same outcome. The flight is identified by
+// instance, not just key, so a stale completion (a canceled leader
+// racing a fresh retry of the same key) can never finish a flight it
+// does not own.
+func (c *resultCache) complete(key string, fl *flight, bytes []byte, err error) {
+	c.mu.Lock()
+	cur, ok := c.flights[key]
+	if !ok || cur != fl {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.flights, key)
+	fl.bytes, fl.err = bytes, err
+	if err == nil {
+		if e, dup := c.byKey[key]; dup {
+			c.lru.MoveToFront(e)
+		} else {
+			c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, bytes: bytes})
+			for c.lru.Len() > c.max {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.byKey, oldest.Value.(*cacheEntry).key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// get returns the stored bytes for a key without starting a flight.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).bytes, true
+}
+
+// len returns the number of stored entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// keys returns the stored keys, most recently used first.
+func (c *resultCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.lru.Len())
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*cacheEntry).key)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package labd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheSingleflight: N concurrent begins for one key elect exactly
+// one leader; everyone observes the leader's bytes.
+func TestCacheSingleflight(t *testing.T) {
+	c := newResultCache(8)
+	const n = 16
+	want := []byte("result")
+
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cached, fl, leader := c.begin("k")
+			switch {
+			case cached != nil:
+				results[i] = cached
+			case leader:
+				leaders.Add(1)
+				c.complete("k", fl, want, nil)
+				results[i] = want
+			default:
+				<-fl.done
+				if fl.err != nil {
+					t.Errorf("follower %d: %v", i, fl.err)
+					return
+				}
+				results[i] = fl.bytes
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", got)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, want) {
+			t.Errorf("caller %d got %q, want %q", i, r, want)
+		}
+	}
+	if got, ok := c.get("k"); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("after completion get(k) = %q, %v; want %q, true", got, ok, want)
+	}
+}
+
+// TestCacheSingleflightError: a failed flight releases followers with
+// the error and stores nothing, so the next begin retries cold.
+func TestCacheSingleflightError(t *testing.T) {
+	c := newResultCache(8)
+	boom := errors.New("boom")
+
+	_, fl, leader := c.begin("k")
+	if !leader {
+		t.Fatal("first begin must lead")
+	}
+	_, follower, leads := c.begin("k")
+	if leads {
+		t.Fatal("second begin must follow, not lead")
+	}
+	c.complete("k", fl, nil, boom)
+	<-follower.done
+	if follower.err != boom {
+		t.Fatalf("follower err = %v, want %v", follower.err, boom)
+	}
+	if _, ok := c.get("k"); ok {
+		t.Fatal("failed flight must not populate the cache")
+	}
+	if _, _, leader := c.begin("k"); !leader {
+		t.Fatal("after a failed flight the next begin must lead again")
+	}
+}
+
+// TestCacheLRUEviction: entries past the bound evict least-recently-used
+// first, and a get refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	put := func(key string) {
+		_, fl, leader := c.begin(key)
+		if !leader {
+			t.Fatalf("begin(%s): expected leader", key)
+		}
+		c.complete(key, fl, []byte(key), nil)
+	}
+
+	put("a")
+	put("b")
+	// Refresh "a", then insert "c": "b" is now the LRU victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a must be cached")
+	}
+	put("c")
+
+	if got, want := fmt.Sprint(c.keys()), "[c a]"; got != want {
+		t.Fatalf("keys after eviction = %v, want %v", got, want)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b must have been evicted as least recently used")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+
+	// Evicted keys re-enter as fresh flights; inserting "b" again pushes
+	// out the current LRU entry "a".
+	_, fl, leader := c.begin("b")
+	if !leader {
+		t.Fatal("evicted key must miss and elect a new leader")
+	}
+	c.complete("b", fl, []byte("b2"), nil)
+	if got, want := fmt.Sprint(c.keys()), "[b c]"; got != want {
+		t.Fatalf("keys after reinsertion = %v, want %v", got, want)
+	}
+}
+
+// TestSpecKeyNormalization: default-equivalent specs share one content
+// address; different experiments get different ones.
+func TestSpecKeyNormalization(t *testing.T) {
+	a, err := JobSpec{Kind: KindSimulate, Seed: 7}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JobSpec{
+		Kind: KindSimulate, Collector: "ParallelOld", HeapBytes: 16 << 30,
+		Threads: 48, AllocBytesPerSec: 200e6, DurationSeconds: 60, Seed: 7,
+	}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.key() != b.key() {
+		t.Errorf("default-equivalent specs hash differently:\n%+v\n%+v", a, b)
+	}
+	c, err := JobSpec{Kind: KindSimulate, Seed: 8}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.key() == c.key() {
+		t.Error("different seeds must hash differently")
+	}
+
+	if _, err := (JobSpec{Kind: "warp-drive"}).normalized(); err == nil {
+		t.Error("unknown kind must fail validation")
+	}
+	if _, err := (JobSpec{Kind: KindAdvise}).normalized(); err == nil {
+		t.Error("advise without heap/alloc must fail validation")
+	}
+	if _, err := (JobSpec{Kind: KindBenchmark, Benchmark: "no-such-bench"}).normalized(); err == nil {
+		t.Error("unknown benchmark must fail validation")
+	}
+}

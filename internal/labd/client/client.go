@@ -1,0 +1,248 @@
+// Package client is the Go client for the labd job daemon: submit
+// simulation jobs, poll async jobs, and read the daemon's health and
+// metrics. It speaks the wire types of internal/labd.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"jvmgc/internal/labd"
+)
+
+// Client talks to one labd instance.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8372".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("labd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Submission reports how a synchronous submission was answered.
+type Submission struct {
+	// JobID is the daemon-local job identity.
+	JobID string
+	// Key is the job's content address (the canonical spec hash).
+	Key string
+	// Cache is the disposition: "hit", "miss" or "coalesced".
+	Cache string
+	// Bytes is the raw result body — byte-identical for every
+	// submission of the same spec.
+	Bytes []byte
+}
+
+// Result decodes the result body.
+func (s *Submission) Result() (*labd.JobResult, error) {
+	var out labd.JobResult
+	if err := json.Unmarshal(s.Bytes, &out); err != nil {
+		return nil, fmt.Errorf("labd client: decode result: %w", err)
+	}
+	return &out, nil
+}
+
+func (c *Client) do(req *http.Request, want int) ([]byte, *http.Response, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp, err
+	}
+	if resp.StatusCode != want {
+		msg := strings.TrimSpace(string(body))
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return nil, resp, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return body, resp, nil
+}
+
+func (c *Client) postJobs(ctx context.Context, req labd.SubmitRequest, want int) ([]byte, *http.Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.do(hreq, want)
+}
+
+// Submit runs one job synchronously and returns its result bytes along
+// with the cache disposition.
+func (c *Client) Submit(ctx context.Context, spec labd.JobSpec) (*Submission, error) {
+	return c.SubmitRequest(ctx, labd.SubmitRequest{Job: spec})
+}
+
+// SubmitRequest is Submit with delivery options (timeout override).
+// req.Async is forced off; use SubmitAsync for fire-and-poll.
+func (c *Client) SubmitRequest(ctx context.Context, req labd.SubmitRequest) (*Submission, error) {
+	req.Async = false
+	body, resp, err := c.postJobs(ctx, req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return &Submission{
+		JobID: resp.Header.Get("X-Labd-Job"),
+		Key:   resp.Header.Get("X-Labd-Key"),
+		Cache: resp.Header.Get("X-Labd-Cache"),
+		Bytes: body,
+	}, nil
+}
+
+// SubmitAsync enqueues a job and returns immediately with its status.
+func (c *Client) SubmitAsync(ctx context.Context, req labd.SubmitRequest) (*labd.JobInfo, error) {
+	req.Async = true
+	body, _, err := c.postJobs(ctx, req, http.StatusAccepted)
+	if err != nil {
+		return nil, err
+	}
+	var info labd.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*labd.JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var info labd.JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Jobs lists the daemon's job records, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]labd.JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Jobs []labd.JobInfo `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Result fetches a finished job's result bytes (byte-identical to the
+// synchronous submission body).
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := c.do(req, http.StatusOK)
+	return body, err
+}
+
+// Wait polls an async job until it reaches a terminal status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*labd.JobInfo, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if info.Status == labd.StatusDone || info.Status == labd.StatusFailed {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Cancel abandons a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.do(req, http.StatusOK)
+	return err
+}
+
+// Healthz checks daemon liveness; an error reports down or draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.do(req, http.StatusOK)
+	return err
+}
+
+// Metrics fetches the Prometheus text-format snapshot.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	body, _, err := c.do(req, http.StatusOK)
+	return string(body), err
+}

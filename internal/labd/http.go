@@ -1,0 +1,219 @@
+package labd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"jvmgc/internal/telemetry"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs          submit a job (sync by default; async=202)
+//	GET    /v1/jobs          list job records
+//	GET    /v1/jobs/{id}     job status
+//	GET    /v1/jobs/{id}/result   result bytes (byte-identical to sync)
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /metrics          Prometheus text format
+//	GET    /healthz          liveness + drain state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// handleSubmit accepts either the SubmitRequest envelope or a bare
+// JobSpec body.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Job.Kind == "" {
+		// Bare-spec convenience: {"kind": "simulate", ...}.
+		var spec JobSpec
+		if err := json.Unmarshal(body, &spec); err == nil && spec.Kind != "" {
+			req.Job = spec
+		}
+	}
+
+	j, err := s.Submit(req)
+	if err != nil {
+		var inv errInvalid
+		switch {
+		case errors.As(err, &inv):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+
+	w.Header().Set("X-Labd-Job", j.ID)
+	w.Header().Set("X-Labd-Key", j.Key)
+	w.Header().Set("X-Labd-Cache", cacheDisposition(j))
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j.Info())
+		return
+	}
+
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// Client went away; the job continues and lands in the cache.
+		return
+	}
+	s.respondResult(w, j)
+}
+
+func cacheDisposition(j *Job) string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.cacheHit:
+		return "hit"
+	case j.coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// respondResult writes a finished job's outcome: the cached result bytes
+// verbatim on success (so hits, coalesced waits and cold runs are
+// byte-identical), an error envelope otherwise.
+func (s *Server) respondResult(w http.ResponseWriter, j *Job) {
+	bytes, err := j.Result()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else if errors.Is(err, context.Canceled) {
+			status = http.StatusConflict
+		} else if errors.Is(err, ErrQueueFull) {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(bytes)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobInfo `json:"jobs"`
+	}{s.JobInfos()})
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("labd: no such job"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Info())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Done():
+		s.respondResult(w, j)
+	default:
+		writeError(w, http.StatusConflict, errors.New("labd: job not finished; poll GET /v1/jobs/"+j.ID))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Info())
+	}
+}
+
+// handleMetrics serves the daemon's observability snapshot: recorder
+// counters (jobs, cache, simulations), live scheduler gauges and the
+// job-latency summary, all through telemetry's Prometheus exporter.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap telemetry.PromSnapshot
+	snap.AddRecorderCounters(s.rec)
+	snap.Gauge("labd.queue.depth", "Jobs waiting for a worker.", float64(s.QueueDepth()))
+	snap.Gauge("labd.jobs.running", "Jobs executing right now.", float64(s.Running()))
+	snap.Gauge("labd.cache.entries", "Results held in the LRU cache.", float64(s.CacheLen()))
+	snap.Gauge("labd.workers", "Size of the worker pool.", float64(s.cfg.Workers))
+	snap.Gauge("labd.uptime.seconds", "Seconds since the daemon started.",
+		time.Since(s.started).Seconds())
+
+	var latencies []float64
+	for _, span := range s.rec.TrackSpans("labd") {
+		latencies = append(latencies, span.Duration.Seconds())
+	}
+	snap.Summary("labd_job_latency_seconds",
+		"End-to-end job latency (enqueue to completion), including cache hits.",
+		latencies)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.Write(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		// Readiness flips during drain so load balancers stop routing.
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{state, time.Since(s.started).Seconds()})
+}

@@ -1,0 +1,454 @@
+// Package labd turns the GC laboratory into a long-running service: a
+// job daemon that accepts simulation requests over HTTP/JSON, schedules
+// them on a bounded worker pool with a FIFO queue and backpressure, and
+// memoizes results in a content-addressed cache.
+//
+// Every experiment in this laboratory is deterministic in its spec
+// (collector, geometry, workload, seed), which the daemon exploits
+// twice:
+//
+//   - Content addressing: a normalized spec's SHA-256 is its identity.
+//     A repeated request is answered from the cache with the exact bytes
+//     the cold run produced.
+//   - Single-flight: concurrent identical requests coalesce onto one
+//     execution; every caller gets the same bytes, and the simulation
+//     runs once.
+//
+// The observability surface reuses internal/telemetry: job and cache
+// counters are Recorder counters, per-job latency is recorded as spans,
+// and /metrics serves a telemetry.PromSnapshot combining them with live
+// scheduler gauges (queue depth, jobs running, cache entries).
+//
+// Assembly: New builds the daemon, Handler serves the API, Drain stops
+// intake and waits for in-flight work — the pieces cmd/gclabd wires to a
+// net/http server and SIGTERM. The HTTP surface lives in http.go, the
+// scheduler here, the cache in cache.go, and spec execution in run.go.
+package labd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jvmgc/internal/simtime"
+	"jvmgc/internal/telemetry"
+)
+
+// Config parameterizes the daemon. Zero values select the defaults.
+type Config struct {
+	// Workers is the number of concurrent job executors
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO backlog; a full queue rejects
+	// submissions with ErrQueueFull (HTTP 429). Default 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache (LRU eviction). Default 256.
+	CacheEntries int
+	// DefaultTimeout bounds a job's queue-plus-run time when the request
+	// does not set one. Default 2 minutes.
+	DefaultTimeout time.Duration
+	// Parallelism is the per-job worker fan-out for sweep-shaped kinds
+	// (advise, ranking). Default 1: concurrency comes from the daemon's
+	// worker pool, not from inside jobs.
+	Parallelism int
+	// MaxJobRecords bounds the in-memory job registry (completed records
+	// are evicted oldest-first past the bound). Default 1024.
+	MaxJobRecords int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.MaxJobRecords <= 0 {
+		c.MaxJobRecords = 1024
+	}
+	return c
+}
+
+// Submission errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull reports backpressure: the FIFO backlog is at capacity.
+	ErrQueueFull = errors.New("labd: job queue full")
+	// ErrDraining reports a daemon that has stopped accepting work.
+	ErrDraining = errors.New("labd: draining, not accepting jobs")
+)
+
+// errInvalid wraps spec validation failures (HTTP 400).
+type errInvalid struct{ err error }
+
+func (e errInvalid) Error() string { return e.err.Error() }
+
+// Job is one submitted request's lifecycle record.
+type Job struct {
+	// ID is the daemon-local identity; Key the content address.
+	ID  string
+	Key string
+
+	spec     JobSpec
+	ctx      context.Context
+	cancel   context.CancelFunc
+	enqueued time.Time
+
+	// fl is the execution flight this job leads (nil for cache hits and
+	// coalesced followers).
+	fl *flight
+
+	once sync.Once
+	// done closes when the job reaches a terminal status.
+	done chan struct{}
+
+	mu        sync.Mutex
+	status    string
+	result    []byte
+	err       error
+	cacheHit  bool
+	coalesced bool
+}
+
+// Done returns the job's completion channel.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the cached result bytes and error after Done closes.
+func (j *Job) Result() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Cancel abandons the job: a queued job never runs; a running job's
+// simulation still completes in the background and populates the cache
+// (deterministic work is never wasted), but this job reports failure.
+func (j *Job) Cancel() { j.cancel() }
+
+// Info snapshots the job's status view.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:        j.ID,
+		Kind:      j.spec.Kind,
+		Key:       j.Key,
+		Status:    j.status,
+		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	info.ResultBytes = len(j.result)
+	return info
+}
+
+// Server is the daemon: scheduler, cache, registry and HTTP surface.
+type Server struct {
+	cfg   Config
+	rec   *telemetry.Recorder
+	cache *resultCache
+	queue chan *Job
+
+	// runSpec is the execution function; tests substitute it to model
+	// slow or failing jobs without running simulations.
+	runSpec func(spec JobSpec, parallelism int) (*JobResult, error)
+
+	started time.Time
+	workers sync.WaitGroup
+	running atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	nextID   int64
+	jobs     map[string]*Job
+	order    []string // registration order, for record eviction
+}
+
+// New builds a daemon and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		rec:     telemetry.New(telemetry.Config{}),
+		cache:   newResultCache(cfg.CacheEntries),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		runSpec: runSpec,
+		started: time.Now(),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates, registers and resolves one job: from the cache, by
+// coalescing onto an identical in-flight execution, or by enqueueing a
+// fresh execution. The returned job may already be done (cache hit).
+// Errors: errInvalid (bad spec), ErrQueueFull, ErrDraining.
+func (s *Server) Submit(req SubmitRequest) (*Job, error) {
+	spec, err := req.Job.normalized()
+	if err != nil {
+		s.rec.Add("labd.jobs.rejected", 1)
+		return nil, errInvalid{err}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := &Job{
+		Key:      spec.key(),
+		spec:     spec,
+		ctx:      ctx,
+		cancel:   cancel,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+		status:   StatusQueued,
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		s.rec.Add("labd.jobs.rejected", 1)
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j.ID = fmt.Sprintf("j%d", s.nextID)
+	s.register(j)
+	s.rec.Add("labd.jobs.submitted", 1)
+
+	cached, fl, leader := s.cache.begin(j.Key)
+	switch {
+	case cached != nil:
+		j.cacheHit = true
+		s.mu.Unlock()
+		s.rec.Add("labd.cache.hits", 1)
+		s.finish(j, cached, nil)
+	case !leader:
+		j.coalesced = true
+		s.mu.Unlock()
+		s.rec.Add("labd.jobs.coalesced", 1)
+		go func() {
+			select {
+			case <-fl.done:
+				s.finish(j, fl.bytes, fl.err)
+			case <-j.ctx.Done():
+				s.finish(j, nil, j.ctx.Err())
+			}
+		}()
+	default:
+		// Leader: the queue send must happen under the submit lock so a
+		// concurrent Drain cannot close the channel in between.
+		j.fl = fl
+		select {
+		case s.queue <- j:
+			s.mu.Unlock()
+			s.rec.Add("labd.cache.misses", 1)
+			go s.watchLeader(j)
+		default:
+			s.mu.Unlock()
+			s.rec.Add("labd.jobs.rejected", 1)
+			s.cache.complete(j.Key, fl, nil, ErrQueueFull)
+			s.finish(j, nil, ErrQueueFull)
+			return nil, ErrQueueFull
+		}
+	}
+	return j, nil
+}
+
+// watchLeader reacts to a leader job's cancellation or timeout. A job
+// abandoned while still queued fails immediately and takes its flight
+// (and any coalesced followers) with it; a job abandoned mid-run fails
+// alone — the execution keeps the flight and populates the cache when it
+// completes, so deterministic work is never wasted.
+func (s *Server) watchLeader(j *Job) {
+	select {
+	case <-j.done:
+	case <-j.ctx.Done():
+		j.mu.Lock()
+		wasQueued := j.status == StatusQueued
+		if wasQueued {
+			// Block the worker from claiming it later.
+			j.status = StatusFailed
+		}
+		j.mu.Unlock()
+		if wasQueued {
+			s.cache.complete(j.Key, j.fl, nil,
+				fmt.Errorf("labd: abandoned while queued: %w", j.ctx.Err()))
+		}
+		s.finish(j, nil, j.ctx.Err())
+	}
+}
+
+// register adds a job record, evicting the oldest finished records past
+// the bound. Caller holds s.mu.
+func (s *Server) register(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.order) > s.cfg.MaxJobRecords {
+		victim, ok := s.jobs[s.order[0]]
+		if ok {
+			select {
+			case <-victim.done:
+			default:
+				return // oldest record still live; keep everything
+			}
+			delete(s.jobs, victim.ID)
+		}
+		s.order = s.order[1:]
+	}
+}
+
+// Job looks up a registered job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobInfos snapshots every registered job, oldest first.
+func (s *Server) JobInfos() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.Info())
+		}
+	}
+	return out
+}
+
+// runJob executes one dequeued leader job.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.status != StatusQueued || j.ctx.Err() != nil {
+		// Abandoned while queued; watchLeader fails the job and its
+		// flight (it is guaranteed to fire once the context is done).
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	s.rec.Add("labd.simulations", 1)
+
+	type execOutcome struct {
+		bytes []byte
+		err   error
+	}
+	outcome := make(chan execOutcome, 1)
+	go func() {
+		res, err := s.runSpec(j.spec, s.cfg.Parallelism)
+		var bytes []byte
+		if err == nil {
+			bytes, err = marshalResult(res)
+		}
+		// Complete the flight regardless of the leader's fate: followers
+		// and future requests get the result even if the leader's
+		// deadline passed mid-run.
+		s.cache.complete(j.Key, j.fl, bytes, err)
+		outcome <- execOutcome{bytes, err}
+	}()
+	select {
+	case o := <-outcome:
+		s.finish(j, o.bytes, o.err)
+	case <-j.ctx.Done():
+		s.finish(j, nil, j.ctx.Err())
+	}
+}
+
+// finish moves a job to its terminal status exactly once.
+func (s *Server) finish(j *Job, bytes []byte, err error) {
+	j.once.Do(func() {
+		j.mu.Lock()
+		if err != nil {
+			j.status = StatusFailed
+			j.err = err
+		} else {
+			j.status = StatusDone
+			j.result = bytes
+		}
+		kind := j.spec.Kind
+		j.mu.Unlock()
+		if err != nil {
+			s.rec.Add("labd.jobs.failed", 1)
+		} else {
+			s.rec.Add("labd.jobs.completed", 1)
+		}
+		// Job latency lands on the "labd" track; /metrics summarizes the
+		// span durations as jvmgc_labd_job_latency_seconds.
+		s.rec.Span("labd", kind, 0, simtime.FromStd(time.Since(j.enqueued)), 0)
+		j.cancel()
+		close(j.done)
+	})
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Running returns the number of jobs executing right now.
+func (s *Server) Running() int { return int(s.running.Load()) }
+
+// CacheLen returns the number of cached results.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// Recorder exposes the daemon's telemetry recorder (counters and job
+// latency spans).
+func (s *Server) Recorder() *telemetry.Recorder { return s.rec }
+
+// Drain stops intake and waits for queued and running jobs to finish.
+// When ctx expires first, outstanding jobs are canceled and Drain waits
+// for the workers to observe that before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,194 @@
+package labd
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"jvmgc"
+	"jvmgc/internal/core"
+)
+
+// JobResult is the body of a completed job: the normalized spec it
+// answers, a human-readable rendering, and the structured payload for the
+// job's kind. Results are marshaled once and cached as bytes, so a cache
+// hit is byte-identical to the cold run that produced it.
+type JobResult struct {
+	Kind string  `json:"kind"`
+	Spec JobSpec `json:"spec"`
+	// Text is the rendered, terminal-friendly report.
+	Text string `json:"text"`
+
+	Simulation   *jvmgc.SimulationResult `json:"simulation,omitempty"`
+	Benchmark    *jvmgc.BenchmarkResult  `json:"benchmark,omitempty"`
+	ClientServer *ClientServerSummary    `json:"client_server,omitempty"`
+	Advice       []jvmgc.Advice          `json:"advice,omitempty"`
+	Cluster      *jvmgc.ClusterResult    `json:"cluster,omitempty"`
+	Ranking      *core.RankingResult     `json:"ranking,omitempty"`
+}
+
+// ClientServerSummary is the service view of a client-server run: the
+// latency bands and pause picture without the per-operation trace (which
+// runs to millions of points over long experiments).
+type ClientServerSummary struct {
+	MaxPauseMS    float64            `json:"max_pause_ms"`
+	FullGCs       int                `json:"full_gcs"`
+	Pauses        int                `json:"pauses"`
+	Ops           int                `json:"ops"`
+	ReplaySeconds float64            `json:"replay_seconds"`
+	TotalSeconds  float64            `json:"total_seconds"`
+	Read          jvmgc.LatencyBands `json:"read"`
+	Update        jvmgc.LatencyBands `json:"update"`
+}
+
+// marshalResult renders a result to its canonical cached bytes.
+func marshalResult(res *JobResult) ([]byte, error) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("labd: marshal result: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// runSpec executes one normalized spec against the laboratory.
+// parallelism bounds the worker fan-out of sweep-shaped kinds (advise,
+// ranking); single-run kinds ignore it. Execution is synchronous and
+// deterministic in the spec.
+func runSpec(spec JobSpec, parallelism int) (*JobResult, error) {
+	out := &JobResult{Kind: spec.Kind, Spec: spec}
+	simDur := time.Duration(spec.DurationSeconds * float64(time.Second))
+	switch spec.Kind {
+	case KindSimulate:
+		res, err := jvmgc.Simulate(jvmgc.SimulationConfig{
+			Collector:        spec.Collector,
+			HeapBytes:        spec.HeapBytes,
+			YoungBytes:       spec.YoungBytes,
+			DisableTLAB:      spec.DisableTLAB,
+			Threads:          spec.Threads,
+			AllocBytesPerSec: spec.AllocBytesPerSec,
+			Seed:             spec.Seed,
+		}, simDur)
+		if err != nil {
+			return nil, err
+		}
+		out.Simulation = res
+		out.Text = fmt.Sprintf(
+			"%s: %d pauses (%d full) over %v simulated, total pause %v, worst %v, ttsp p99 %v\n",
+			spec.Collector, len(res.Pauses), res.FullGCs, simDur,
+			res.TotalPause, res.MaxPause, res.Safepoints.P99)
+	case KindBenchmark:
+		res, err := jvmgc.RunBenchmark(jvmgc.BenchmarkOptions{
+			Benchmark:   spec.Benchmark,
+			Collector:   spec.Collector,
+			HeapBytes:   spec.HeapBytes,
+			YoungBytes:  spec.YoungBytes,
+			DisableTLAB: spec.DisableTLAB,
+			Iterations:  spec.Iterations,
+			NoSystemGC:  spec.NoSystemGC,
+			Seed:        spec.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Benchmark = res
+		out.Text = fmt.Sprintf(
+			"%s under %s: %d iterations in %.2fs, %d pauses (%d full), worst %v\n",
+			spec.Benchmark, spec.Collector, len(res.IterationSeconds),
+			res.TotalSeconds, len(res.Pauses), res.FullGCs, res.MaxPause)
+	case KindClientServer:
+		var wl byte
+		if spec.Workload != "" {
+			wl = spec.Workload[0]
+		}
+		res, err := jvmgc.RunClientServer(jvmgc.ClientServerOptions{
+			Collector: spec.Collector,
+			Stress:    spec.Stress,
+			Duration:  simDur,
+			Workload:  wl,
+			Seed:      spec.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.ClientServer = &ClientServerSummary{
+			MaxPauseMS:    float64(res.MaxPause) / float64(time.Millisecond),
+			FullGCs:       res.FullGCs,
+			Pauses:        len(res.ServerPauses),
+			Ops:           len(res.Ops),
+			ReplaySeconds: res.ReplaySeconds,
+			TotalSeconds:  res.TotalSeconds,
+			Read:          res.Read,
+			Update:        res.Update,
+		}
+		out.Text = fmt.Sprintf(
+			"%s client-server: %d ops, read avg %.2fms max %.2fms (%.2f%% normal), update avg %.2fms max %.2fms, worst pause %v, %d full GCs\n",
+			spec.Collector, len(res.Ops),
+			res.Read.AvgMS, res.Read.MaxMS, res.Read.NormalReqsPct,
+			res.Update.AvgMS, res.Update.MaxMS, res.MaxPause, res.FullGCs)
+	case KindAdvise:
+		advice, err := jvmgc.Advise(jvmgc.AdviseOptions{
+			HeapBytes:        spec.HeapBytes,
+			Threads:          spec.Threads,
+			AllocBytesPerSec: spec.AllocBytesPerSec,
+			MaxPause:         time.Duration(spec.MaxPauseMS * float64(time.Millisecond)),
+			MaxPauseFraction: spec.MaxPausedPct / 100,
+			EvaluationWindow: simDur,
+			Seed:             spec.Seed,
+			Parallelism:      parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Advice = advice
+		out.Text = renderAdvice(advice)
+	case KindCluster:
+		res, err := jvmgc.RunCluster(jvmgc.ClusterOptions{
+			Collector:         spec.Collector,
+			Nodes:             spec.Nodes,
+			ReplicationFactor: spec.ReplicationFactor,
+			Stress:            spec.Stress,
+			Duration:          simDur,
+			Seed:              spec.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Cluster = res
+		out.Text = fmt.Sprintf(
+			"%d-node ring (RF=%d) under %s: avg read latency ONE %.2fms / QUORUM %.2fms / ALL %.2fms, %d suspicions\n",
+			spec.Nodes, spec.ReplicationFactor, spec.Collector,
+			res.One.AvgMS, res.Quorum.AvgMS, res.All.AvgMS, res.Suspicions)
+	case KindRanking:
+		lab := core.NewLab(spec.Seed)
+		lab.Parallelism = parallelism
+		res, err := lab.FigureRanking(spec.SystemGC)
+		if err != nil {
+			return nil, err
+		}
+		out.Ranking = &res
+		out.Text = res.Render()
+	default:
+		// normalized() rejects unknown kinds before jobs reach a worker.
+		return nil, fmt.Errorf("labd: unknown kind %q", spec.Kind)
+	}
+	return out, nil
+}
+
+// renderAdvice prints the ranked candidates, cmd/advisor-style.
+func renderAdvice(advice []jvmgc.Advice) string {
+	text := fmt.Sprintf("%-12s %-12s %-12s %-9s %-8s %s\n",
+		"collector", "youngBytes", "worstPause", "paused%", "fullGCs", "verdict")
+	for _, a := range advice {
+		verdict := "violates SLO"
+		switch {
+		case a.OutOfMemory:
+			verdict = "OUT OF MEMORY"
+		case a.MeetsSLO:
+			verdict = "meets SLO"
+		}
+		text += fmt.Sprintf("%-12s %-12d %-12v %-9.2f %-8d %s\n",
+			a.Collector, a.YoungBytes, a.WorstPause, 100*a.PauseFraction,
+			a.FullGCs, verdict)
+	}
+	return text
+}

@@ -3,10 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
-
-	"jvmgc/internal/stats"
 )
 
 // Prometheus text-exposition-format export: a point-in-time snapshot of
@@ -14,7 +11,9 @@ import (
 // <name>_total counter families; GC pause and TTSP distributions become
 // summary families with p50/p95/p99 quantiles; the last time-series
 // sample becomes a set of gauges. Families are emitted in sorted order so
-// identical recordings export byte-identically.
+// identical recordings export byte-identically. The family-building
+// machinery lives in promexport.go as the exported PromSnapshot, which
+// other subsystems reuse for their own /metrics surfaces.
 
 const promPrefix = "jvmgc_"
 
@@ -27,34 +26,19 @@ type promFamily struct {
 
 // WritePrometheus renders the recording in Prometheus text format.
 func (r *Recorder) WritePrometheus(w io.Writer) error {
-	var fams []promFamily
+	var snap PromSnapshot
 
-	for _, c := range r.Counters() {
-		name := sanitizeMetric(c.Name) + "_total"
-		fams = append(fams, promFamily{
-			name: name,
-			typ:  "counter",
-			help: "Count of " + c.Name + " events in the recording.",
-			lines: []string{
-				fmt.Sprintf("%s%s %d", promPrefix, name, c.Value),
-			},
-		})
-	}
-
-	if f, ok := summaryFamily("gc_pause_seconds",
-		"Stop-the-world GC pause durations.", r.pauseSeconds()); ok {
-		fams = append(fams, f)
-	}
-	if f, ok := summaryFamily("safepoint_ttsp_seconds",
+	snap.AddRecorderCounters(r)
+	snap.Summary("gc_pause_seconds",
+		"Stop-the-world GC pause durations.", r.pauseSeconds())
+	snap.Summary("safepoint_ttsp_seconds",
 		"Time-to-safepoint (bringing mutators to a stop) durations.",
-		r.childSeconds("ttsp")); ok {
-		fams = append(fams, f)
-	}
+		r.childSeconds("ttsp"))
 
 	if samples := r.Samples(); len(samples) > 0 {
 		last := samples[len(samples)-1]
 		gauge := func(name, help string, lines ...string) {
-			fams = append(fams, promFamily{name: name, typ: "gauge", help: help, lines: lines})
+			snap.family(promFamily{name: name, typ: "gauge", help: help, lines: lines})
 		}
 		gauge("heap_used_bytes", "Occupancy per heap space at the last sample.",
 			fmt.Sprintf("%sheap_used_bytes{space=\"eden\"} %d", promPrefix, int64(last.Eden)),
@@ -78,20 +62,7 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			fmt.Sprintf("%ssamples_recorded %d", promPrefix, len(samples)))
 	}
 
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-
-	for _, f := range fams {
-		if _, err := fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s %s\n",
-			promPrefix, f.name, f.help, promPrefix, f.name, f.typ); err != nil {
-			return err
-		}
-		for _, line := range f.lines {
-			if _, err := fmt.Fprintln(w, line); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return snap.Write(w)
 }
 
 // pauseSeconds collects the durations of all stop-the-world pause spans
@@ -114,29 +85,6 @@ func (r *Recorder) childSeconds(name string) []float64 {
 		}
 	}
 	return out
-}
-
-func summaryFamily(name, help string, xs []float64) (promFamily, bool) {
-	if len(xs) == 0 {
-		return promFamily{}, false
-	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	f := promFamily{name: name, typ: "summary", help: help}
-	for _, q := range []float64{50, 95, 99} {
-		v, err := stats.Percentile(xs, q)
-		if err != nil {
-			return promFamily{}, false
-		}
-		f.lines = append(f.lines, fmt.Sprintf("%s%s{quantile=\"%g\"} %g",
-			promPrefix, name, q/100, v))
-	}
-	f.lines = append(f.lines,
-		fmt.Sprintf("%s%s_sum %g", promPrefix, name, sum),
-		fmt.Sprintf("%s%s_count %d", promPrefix, name, len(xs)))
-	return f, true
 }
 
 // sanitizeMetric maps a dotted counter name onto the Prometheus metric

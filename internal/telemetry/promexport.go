@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"jvmgc/internal/stats"
+)
+
+// PromSnapshot accumulates metric families and renders them in Prometheus
+// text exposition format. It is the reusable core of the Recorder's
+// WritePrometheus export: subsystems that are not simulations (the labd
+// job daemon, for instance) build a snapshot from their own gauges and
+// summaries, fold in a Recorder's counters, and serve the result from a
+// /metrics endpoint.
+//
+// Families are emitted in sorted name order, so a snapshot built from the
+// same data renders byte-identically. All metric names share the jvmgc_
+// prefix.
+type PromSnapshot struct {
+	fams []promFamily
+}
+
+// Counter appends a single-sample counter family. The name is sanitized
+// onto the Prometheus charset and suffixed with _total.
+func (s *PromSnapshot) Counter(name, help string, value int64) {
+	n := sanitizeMetric(name) + "_total"
+	s.fams = append(s.fams, promFamily{
+		name: n,
+		typ:  "counter",
+		help: help,
+		lines: []string{
+			fmt.Sprintf("%s%s %d", promPrefix, n, value),
+		},
+	})
+}
+
+// Gauge appends a single-sample gauge family.
+func (s *PromSnapshot) Gauge(name, help string, value float64) {
+	n := sanitizeMetric(name)
+	s.fams = append(s.fams, promFamily{
+		name: n,
+		typ:  "gauge",
+		help: help,
+		lines: []string{
+			fmt.Sprintf("%s%s %g", promPrefix, n, value),
+		},
+	})
+}
+
+// Summary appends a summary family with p50/p95/p99 quantiles plus _sum
+// and _count, computed over the observations. Empty input appends
+// nothing.
+func (s *PromSnapshot) Summary(name, help string, observations []float64) {
+	if f, ok := summaryFamily(name, help, observations); ok {
+		s.fams = append(s.fams, f)
+	}
+}
+
+// AddRecorderCounters appends one counter family per Recorder counter,
+// exactly as WritePrometheus exports them.
+func (s *PromSnapshot) AddRecorderCounters(r *Recorder) {
+	for _, c := range r.Counters() {
+		s.Counter(c.Name, "Count of "+c.Name+" events in the recording.", c.Value)
+	}
+}
+
+// family appends a pre-rendered family (internal emission sites with
+// labeled samples).
+func (s *PromSnapshot) family(f promFamily) {
+	s.fams = append(s.fams, f)
+}
+
+// Write renders the snapshot, families in sorted name order.
+func (s *PromSnapshot) Write(w io.Writer) error {
+	sort.SliceStable(s.fams, func(i, j int) bool { return s.fams[i].name < s.fams[j].name })
+	for _, f := range s.fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s %s\n",
+			promPrefix, f.name, f.help, promPrefix, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func summaryFamily(name, help string, xs []float64) (promFamily, bool) {
+	if len(xs) == 0 {
+		return promFamily{}, false
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	f := promFamily{name: name, typ: "summary", help: help}
+	for _, q := range []float64{50, 95, 99} {
+		v, err := stats.Percentile(xs, q)
+		if err != nil {
+			return promFamily{}, false
+		}
+		f.lines = append(f.lines, fmt.Sprintf("%s%s{quantile=\"%g\"} %g",
+			promPrefix, name, q/100, v))
+	}
+	f.lines = append(f.lines,
+		fmt.Sprintf("%s%s_sum %g", promPrefix, name, sum),
+		fmt.Sprintf("%s%s_count %d", promPrefix, name, len(xs)))
+	return f, true
+}

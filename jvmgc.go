@@ -598,6 +598,10 @@ type AdviseOptions struct {
 	// (default 5 minutes).
 	EvaluationWindow time.Duration
 	Seed             uint64
+	// Parallelism bounds the worker pool evaluating candidates
+	// concurrently (0 = GOMAXPROCS). The ranking is deterministic at any
+	// setting.
+	Parallelism int
 }
 
 // Advice is one evaluated configuration, best first.
@@ -638,8 +642,9 @@ func Advise(opts AdviseOptions) ([]Advice, error) {
 			MaxPause:         simtime.FromStd(opts.MaxPause),
 			MaxPauseFraction: opts.MaxPauseFraction,
 		},
-		Duration: simtime.FromStd(opts.EvaluationWindow),
-		Seed:     opts.Seed,
+		Duration:    simtime.FromStd(opts.EvaluationWindow),
+		Seed:        opts.Seed,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
