@@ -1,12 +1,17 @@
 #!/bin/sh
 # CI gate: formatting, build, vet, race-enabled tests (including the
-# labd daemon's scheduler/cache/e2e suite), and the benchmark smoke
-# (compile + single iteration): the telemetry disabled path and the labd
-# cache-hit vs cold-run pair.
+# labd daemon's scheduler/cache/e2e suite and the fault-injection
+# package), a chaos smoke (the fixed-seed campaign: injected panic,
+# cache corruption and flaky HTTP must all converge byte-identically),
+# and the benchmark smoke (compile + single iteration): the telemetry
+# disabled path, the labd cache-hit vs cold-run pair, and the no-op
+# fault-point overhead guard.
 set -eux
 
 test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
+go vet ./internal/labd/... ./internal/faultinject/...
 go test -race ./...
-go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun' -benchtime=1x ./...
+go test -race -count=1 -run 'TestChaosCampaignConvergence|TestWarmRestartAndCorruptionRecovery' ./internal/labd/
+go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint' -benchtime=1x ./...

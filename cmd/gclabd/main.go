@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"jvmgc/internal/faultinject"
 	"jvmgc/internal/labd"
 )
 
@@ -38,19 +39,41 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "FIFO backlog bound; beyond it submissions get HTTP 429")
 		cacheSize   = flag.Int("cache-entries", 256, "result cache bound (LRU eviction)")
+		cacheDir    = flag.String("cache-dir", "", "crash-safe on-disk result cache directory; entries are checksummed, written atomically, and survive restarts (empty = memory only)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "default per-job queue+run timeout")
 		parallelism = flag.Int("parallelism", 1, "per-job worker fan-out for sweep kinds (advise, ranking)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "fault-injection seed; a fixed seed replays a chaos campaign")
+		chaosSpec   = flag.String("chaos-spec", "", "fault-injection spec, e.g. 'labd/job.panic:p=0.01;labd/http.flaky:every=50' (empty disables injection)")
 	)
 	flag.Parse()
 
-	srv := labd.New(labd.Config{
+	chaos, err := faultinject.Parse(*chaosSeed, *chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclabd:", err)
+		os.Exit(2)
+	}
+	if chaos.Enabled() {
+		fmt.Fprintf(os.Stderr, "gclabd: CHAOS ENABLED: seed=%d spec=%q\n", *chaosSeed, *chaosSpec)
+	}
+
+	srv, err := labd.New(labd.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheSize,
+		CacheDir:       *cacheDir,
 		DefaultTimeout: *timeout,
 		Parallelism:    *parallelism,
+		Chaos:          chaos,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclabd:", err)
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "gclabd: disk cache at %s (%d entries warm)\n",
+			*cacheDir, srv.DiskCacheEntries())
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(),

@@ -29,7 +29,10 @@ func main() {
 	ctx := context.Background()
 
 	// Start the daemon: 2 workers, a short backlog, LRU-bounded cache.
-	srv := labd.New(labd.Config{Workers: 2, QueueDepth: 16, CacheEntries: 64})
+	srv, err := labd.New(labd.Config{Workers: 2, QueueDepth: 16, CacheEntries: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	fmt.Printf("labd listening on %s\n\n", ts.URL)

@@ -1,0 +1,28 @@
+package faultinject
+
+import "testing"
+
+// BenchmarkNoopFaultPoint guards the disabled injector's cost on hot
+// paths: a fault point behind a nil *Injector must compile down to a nil
+// check and nothing else. This is the configuration every production
+// daemon runs with.
+func BenchmarkNoopFaultPoint(b *testing.B) {
+	var in *Injector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if in.Fire("labd/job.panic") {
+			b.Fatal("nil injector fired")
+		}
+	}
+}
+
+// BenchmarkArmedFaultPoint is the comparison point: an enabled injector
+// evaluating a never-firing probabilistic rule.
+func BenchmarkArmedFaultPoint(b *testing.B) {
+	in := New(1)
+	in.Set("labd/job.panic", Rule{P: 1e-12})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Fire("labd/job.panic")
+	}
+}

@@ -20,7 +20,10 @@ func benchSpec(seed uint64) JobSpec {
 
 func benchServer(b *testing.B) *Server {
 	b.Helper()
-	s := New(Config{Workers: 1, QueueDepth: 1 << 16, DefaultTimeout: time.Hour})
+	s, err := New(Config{Workers: 1, QueueDepth: 1 << 16, DefaultTimeout: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

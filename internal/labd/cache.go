@@ -2,6 +2,7 @@ package labd
 
 import (
 	"container/list"
+	"log"
 	"sync"
 )
 
@@ -11,12 +12,18 @@ import (
 // that flight and share its outcome; later requests hit the stored bytes.
 // Completed results are bounded by an LRU policy on entry count —
 // results are immutable bytes, so eviction only costs recomputation.
+//
+// With a disk tier attached (Config.CacheDir), the memory LRU becomes a
+// promotion layer over a crash-safe store: memory misses fall through to
+// a verified disk read before electing a leader, and completed flights
+// write through. Disk entries survive restarts and LRU eviction.
 type resultCache struct {
 	mu      sync.Mutex
 	max     int                      // entry bound (>=1)
 	byKey   map[string]*list.Element // key -> lru element
 	lru     *list.List               // front = most recently used
 	flights map[string]*flight
+	disk    *diskCache // nil = memory only
 }
 
 type cacheEntry struct {
@@ -32,7 +39,7 @@ type flight struct {
 	err   error
 }
 
-func newResultCache(max int) *resultCache {
+func newResultCache(max int, disk *diskCache) *resultCache {
 	if max < 1 {
 		max = 1
 	}
@@ -41,13 +48,16 @@ func newResultCache(max int) *resultCache {
 		byKey:   make(map[string]*list.Element),
 		lru:     list.New(),
 		flights: make(map[string]*flight),
+		disk:    disk,
 	}
 }
 
-// begin resolves a key: a cache hit returns the stored bytes; otherwise
-// the caller either joins an existing flight (leader=false) or becomes
-// the leader of a new one (leader=true) and must eventually call
-// complete with the same key.
+// begin resolves a key: a cache hit (memory, or a verified disk entry
+// promoted into memory) returns the stored bytes; otherwise the caller
+// either joins an existing flight (leader=false) or becomes the leader
+// of a new one (leader=true) and must eventually call complete with the
+// same key. A corrupt disk entry is deleted inside the read and shows up
+// here as a plain miss, so the new leader recomputes and rewrites it.
 func (c *resultCache) begin(key string) (cached []byte, fl *flight, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -57,6 +67,12 @@ func (c *resultCache) begin(key string) (cached []byte, fl *flight, leader bool)
 	}
 	if fl, ok := c.flights[key]; ok {
 		return nil, fl, false
+	}
+	if c.disk != nil {
+		if bytes, ok := c.disk.read(key); ok {
+			c.insert(key, bytes)
+			return bytes, nil, false
+		}
 	}
 	fl = &flight{done: make(chan struct{})}
 	c.flights[key] = fl
@@ -79,19 +95,33 @@ func (c *resultCache) complete(key string, fl *flight, bytes []byte, err error) 
 	delete(c.flights, key)
 	fl.bytes, fl.err = bytes, err
 	if err == nil {
-		if e, dup := c.byKey[key]; dup {
-			c.lru.MoveToFront(e)
-		} else {
-			c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, bytes: bytes})
-			for c.lru.Len() > c.max {
-				oldest := c.lru.Back()
-				c.lru.Remove(oldest)
-				delete(c.byKey, oldest.Value.(*cacheEntry).key)
-			}
+		c.insert(key, bytes)
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if err == nil && disk != nil {
+		// Write-through before releasing waiters: once a caller observes
+		// the result, a restarted daemon can serve it from disk.
+		if werr := disk.write(key, bytes); werr != nil {
+			log.Printf("labd: cache write-through %.12s…: %v", key, werr)
 		}
 	}
-	c.mu.Unlock()
 	close(fl.done)
+}
+
+// insert stores bytes under key in the memory LRU, evicting past the
+// bound. Caller holds c.mu.
+func (c *resultCache) insert(key string, bytes []byte) {
+	if e, dup := c.byKey[key]; dup {
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, bytes: bytes})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
 }
 
 // get returns the stored bytes for a key without starting a flight.

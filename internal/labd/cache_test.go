@@ -12,7 +12,7 @@ import (
 // TestCacheSingleflight: N concurrent begins for one key elect exactly
 // one leader; everyone observes the leader's bytes.
 func TestCacheSingleflight(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, nil)
 	const n = 16
 	want := []byte("result")
 
@@ -59,7 +59,7 @@ func TestCacheSingleflight(t *testing.T) {
 // TestCacheSingleflightError: a failed flight releases followers with
 // the error and stores nothing, so the next begin retries cold.
 func TestCacheSingleflightError(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, nil)
 	boom := errors.New("boom")
 
 	_, fl, leader := c.begin("k")
@@ -86,7 +86,7 @@ func TestCacheSingleflightError(t *testing.T) {
 // TestCacheLRUEviction: entries past the bound evict least-recently-used
 // first, and a get refreshes recency.
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	put := func(key string) {
 		_, fl, leader := c.begin(key)
 		if !leader {
@@ -128,6 +128,14 @@ func TestCacheLRUEviction(t *testing.T) {
 // TestSpecKeyNormalization: default-equivalent specs share one content
 // address; different experiments get different ones.
 func TestSpecKeyNormalization(t *testing.T) {
+	mustKey := func(s JobSpec) string {
+		t.Helper()
+		k, err := s.key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
 	a, err := JobSpec{Kind: KindSimulate, Seed: 7}.normalized()
 	if err != nil {
 		t.Fatal(err)
@@ -139,14 +147,14 @@ func TestSpecKeyNormalization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.key() != b.key() {
+	if mustKey(a) != mustKey(b) {
 		t.Errorf("default-equivalent specs hash differently:\n%+v\n%+v", a, b)
 	}
 	c, err := JobSpec{Kind: KindSimulate, Seed: 8}.normalized()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.key() == c.key() {
+	if mustKey(a) == mustKey(c) {
 		t.Error("different seeds must hash differently")
 	}
 

@@ -1,28 +1,143 @@
-// Package client is the Go client for the labd job daemon: submit
-// simulation jobs, poll async jobs, and read the daemon's health and
-// metrics. It speaks the wire types of internal/labd.
+// Package client is the self-healing Go client for the labd job daemon:
+// submit simulation jobs, poll async jobs, and read the daemon's health
+// and metrics. It speaks the wire types of internal/labd.
+//
+// The client survives the failures a long experiment campaign meets in
+// practice — transient 5xx/429 responses, connection resets, timeouts,
+// a daemon mid-restart — without corrupting a campaign:
+//
+//   - Retries with exponential backoff and full jitter, honoring
+//     Retry-After when the daemon names its own recovery time.
+//   - Only idempotent requests are retried. GETs are idempotent by HTTP
+//     semantics; POST /v1/jobs is idempotent by construction, because a
+//     job's identity is the content address of its normalized spec —
+//     resubmitting the same spec lands on the same cache entry and
+//     yields byte-identical results. DELETE (cancel) is never retried
+//     blindly: repeating it could cancel a job a concurrent submitter
+//     just coalesced onto.
+//   - A three-state circuit breaker (closed → open → half-open) stops
+//     hammering a daemon that is down: after Breaker.Threshold
+//     consecutive transport-level failures the breaker opens and calls
+//     fail fast; after Breaker.Cooldown a single probe is let through
+//     and its outcome closes or re-opens the breaker.
+//
+// The zero-value policies give sane defaults; Stats reports what the
+// resilience layer actually did.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"jvmgc/internal/labd"
 )
 
-// Client talks to one labd instance.
+// RetryPolicy shapes the retry loop for idempotent requests.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 4; 1 disables
+	// retries).
+	MaxAttempts int
+	// BaseDelay is the backoff unit: attempt n waits a uniformly random
+	// duration in [0, min(MaxDelay, BaseDelay·2ⁿ⁻¹)) — "full jitter",
+	// which decorrelates a fleet of clients retrying into a shared
+	// daemon. Default 50 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff envelope (default 2 s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// BreakerPolicy shapes the circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 5 s).
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Threshold <= 0 {
+		p.Threshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 5 * time.Second
+	}
+	return p
+}
+
+// ErrBreakerOpen reports a call failed fast because the circuit breaker
+// is open: the daemon has been failing consecutively and the cooldown
+// has not elapsed.
+var ErrBreakerOpen = errors.New("labd client: circuit breaker open")
+
+// Stats counts what the resilience layer did (snapshot via Stats).
+type Stats struct {
+	// Attempts is the number of HTTP requests actually sent.
+	Attempts int64
+	// Retries is the number of re-sent requests (attempts beyond the
+	// first, per call).
+	Retries int64
+	// RetryAfterHonored counts backoffs that used a server-provided
+	// Retry-After instead of the jittered exponential schedule.
+	RetryAfterHonored int64
+	// BreakerOpens counts closed/half-open → open transitions.
+	BreakerOpens int64
+	// BreakerFastFails counts calls rejected without a request because
+	// the breaker was open.
+	BreakerFastFails int64
+}
+
+// Client talks to one labd instance. It is safe for concurrent use.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8372".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry shapes the retry loop; the zero value selects defaults.
+	Retry RetryPolicy
+	// Breaker shapes the circuit breaker; the zero value selects
+	// defaults.
+	Breaker BreakerPolicy
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive failures
+	openedAt time.Time
+	probing  bool
+	stats    Stats
 }
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
 
 // New returns a client for the daemon at baseURL.
 func New(baseURL string) *Client {
@@ -36,6 +151,13 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// Stats snapshots the resilience counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
 // APIError is a non-2xx daemon response.
 type APIError struct {
 	StatusCode int
@@ -44,6 +166,218 @@ type APIError struct {
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("labd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// breakerAllow gates one attempt: nil to proceed, ErrBreakerOpen to fail
+// fast. An open breaker past its cooldown moves to half-open and admits
+// exactly one probe at a time.
+func (c *Client) breakerAllow() error {
+	b := c.Breaker.withDefaults()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if time.Since(c.openedAt) >= b.Cooldown {
+			c.state = breakerHalfOpen
+			c.probing = true
+			return nil
+		}
+	case breakerHalfOpen:
+		if !c.probing {
+			c.probing = true
+			return nil
+		}
+	}
+	c.stats.BreakerFastFails++
+	return ErrBreakerOpen
+}
+
+// breakerRecord feeds one attempt's health outcome back: any response
+// from the daemon (even a 4xx rejection) proves it alive and closes the
+// breaker; transport errors and 5xx/429 count toward opening it.
+func (c *Client) breakerRecord(healthy bool) {
+	b := c.Breaker.withDefaults()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probing = false
+	if healthy {
+		c.state = breakerClosed
+		c.fails = 0
+		return
+	}
+	c.fails++
+	if c.state == breakerHalfOpen || (c.state == breakerClosed && c.fails >= b.Threshold) {
+		c.state = breakerOpen
+		c.openedAt = time.Now()
+		c.stats.BreakerOpens++
+	}
+}
+
+// retryableStatus reports response codes worth retrying: throttling and
+// server-side failures that a later attempt can heal.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// idempotent reports whether a request is safe to retry blindly. POST
+// is only idempotent on the submit endpoint, where the job's identity is
+// its spec's content address.
+func idempotent(req *http.Request) bool {
+	switch req.Method {
+	case http.MethodGet, http.MethodHead:
+		return true
+	case http.MethodPost:
+		return strings.HasSuffix(req.URL.Path, "/v1/jobs")
+	}
+	return false
+}
+
+// retryAfter extracts a server-directed delay (seconds form only).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// backoff returns the full-jitter delay before the given retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	envelope := p.BaseDelay << (retry - 1)
+	if envelope > p.MaxDelay || envelope <= 0 {
+		envelope = p.MaxDelay
+	}
+	return time.Duration(rand.Int63n(int64(envelope) + 1))
+}
+
+// do sends a request, reads the body, and demands the given status —
+// retrying idempotent requests through the breaker per the client's
+// policies. Non-retryable failures (4xx rejections, malformed-response
+// errors) return immediately.
+func (c *Client) do(req *http.Request, want int) ([]byte, *http.Response, error) {
+	policy := c.Retry.withDefaults()
+	attempts := policy.MaxAttempts
+	if !idempotent(req) {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			delay, honored := c.nextDelay(policy, attempt-1, lastErr)
+			c.mu.Lock()
+			c.stats.Retries++
+			if honored {
+				c.stats.RetryAfterHonored++
+			}
+			c.mu.Unlock()
+			select {
+			case <-req.Context().Done():
+				return nil, nil, req.Context().Err()
+			case <-time.After(delay):
+			}
+		}
+		if err := c.breakerAllow(); err != nil {
+			return nil, nil, err
+		}
+		body, resp, err, final := c.attempt(req, want)
+		if final {
+			return body, resp, err
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("labd client: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// attempt sends the request once. final=false marks a retryable failure.
+func (c *Client) attempt(req *http.Request, want int) (body []byte, resp *http.Response, err error, final bool) {
+	c.mu.Lock()
+	c.stats.Attempts++
+	c.mu.Unlock()
+	r, err := cloneRequest(req)
+	if err != nil {
+		return nil, nil, err, true
+	}
+	resp, err = c.httpClient().Do(r)
+	if err != nil {
+		// Transport failure: reset, refused connection, client timeout.
+		c.breakerRecord(false)
+		return nil, nil, err, req.Context().Err() != nil
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		c.breakerRecord(false)
+		return nil, resp, err, req.Context().Err() != nil
+	}
+	if resp.StatusCode == want {
+		c.breakerRecord(true)
+		return body, resp, nil, true
+	}
+	msg := strings.TrimSpace(string(body))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if !retryableStatus(resp.StatusCode) {
+		// A deliberate rejection (400, 404, 409...) proves the daemon
+		// healthy and will not improve on retry.
+		c.breakerRecord(true)
+		return nil, resp, apiErr, true
+	}
+	c.breakerRecord(false)
+	return nil, resp, &retryableError{apiErr, resp}, false
+}
+
+// retryableError carries the response alongside the API error so the
+// backoff can honor Retry-After.
+type retryableError struct {
+	*APIError
+	resp *http.Response
+}
+
+func (e *retryableError) Unwrap() error { return e.APIError }
+
+// nextDelay picks the wait before a retry: the server's Retry-After when
+// the last failure carried one, the jittered exponential envelope
+// otherwise.
+func (c *Client) nextDelay(policy RetryPolicy, retry int, lastErr error) (time.Duration, bool) {
+	var re *retryableError
+	if errors.As(lastErr, &re) && re.resp != nil {
+		if d, ok := retryAfter(re.resp); ok {
+			return d, true
+		}
+	}
+	return policy.backoff(retry), false
+}
+
+// cloneRequest duplicates a request for one attempt, rewinding the body
+// via GetBody (set automatically for the byte-buffer payloads this
+// client sends).
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	r := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = body
+	}
+	return r, nil
 }
 
 // Submission reports how a synchronous submission was answered.
@@ -66,29 +400,6 @@ func (s *Submission) Result() (*labd.JobResult, error) {
 		return nil, fmt.Errorf("labd client: decode result: %w", err)
 	}
 	return &out, nil
-}
-
-func (c *Client) do(req *http.Request, want int) ([]byte, *http.Response, error) {
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, resp, err
-	}
-	if resp.StatusCode != want {
-		msg := strings.TrimSpace(string(body))
-		var eb struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return nil, resp, &APIError{StatusCode: resp.StatusCode, Message: msg}
-	}
-	return body, resp, nil
 }
 
 func (c *Client) postJobs(ctx context.Context, req labd.SubmitRequest, want int) ([]byte, *http.Response, error) {

@@ -16,7 +16,10 @@ import (
 
 func startDaemon(t *testing.T, cfg labd.Config) (*client.Client, *labd.Server) {
 	t.Helper()
-	srv := labd.New(cfg)
+	srv, err := labd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler()) // ephemeral 127.0.0.1 port
 	t.Cleanup(func() {
 		ts.Close()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"jvmgc/internal/telemetry"
@@ -20,6 +21,12 @@ import (
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET    /metrics          Prometheus text format
 //	GET    /healthz          liveness + drain state
+//
+// With fault injection armed (Config.Chaos), /v1/* requests pass the
+// FaultHTTPFlaky point first: a firing hit is answered 503 with
+// Retry-After before reaching a handler, modelling a flaky network or
+// an overloaded front end. /healthz and /metrics stay exempt so
+// orchestrators and scrapes observe the daemon truthfully during chaos.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -29,7 +36,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	if !s.chaos.Enabled() {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") && s.chaos.Fire(FaultHTTPFlaky) {
+			s.rec.Add("labd.http.injected.faults", 1)
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusServiceUnavailable,
+				errors.New("faultinject: injected flaky response"))
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -65,7 +84,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.Submit(req)
+	// The request context's deadline (if the client set one) caps the
+	// job's timeout — deadline propagation from HTTP edge to simulation.
+	j, err := s.SubmitContext(r.Context(), req)
 	if err != nil {
 		var inv errInvalid
 		switch {
@@ -75,6 +96,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrDraining):
+			// A draining daemon is mid-rollover; tell well-behaved
+			// clients when to try the (re)started instance.
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)
@@ -188,6 +212,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Gauge("labd.workers", "Size of the worker pool.", float64(s.cfg.Workers))
 	snap.Gauge("labd.uptime.seconds", "Seconds since the daemon started.",
 		time.Since(s.started).Seconds())
+	if s.cache.disk != nil {
+		snap.Gauge("labd.cache.disk.entries",
+			"Verified result entries in the on-disk cache tier.",
+			float64(s.DiskCacheEntries()))
+	}
+	if s.chaos.Enabled() {
+		snap.Counter("labd.faults.injected",
+			"Faults fired by the chaos injector across all sites.",
+			s.chaos.Total())
+	}
 
 	var latencies []float64
 	for _, span := range s.rec.TrackSpans("labd") {

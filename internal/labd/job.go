@@ -184,15 +184,17 @@ func defaultFloat(v, d float64) float64 {
 
 // key returns the spec's content address: the SHA-256 of its canonical
 // JSON encoding. Callers must pass a normalized spec; struct-field order
-// makes the encoding deterministic.
-func (s JobSpec) key() string {
+// makes the encoding deterministic. A JobSpec of scalars cannot fail to
+// marshal today, but the failure path returns an error rather than
+// panicking so a future spec field can never crash the daemon — the
+// submit path propagates it as an HTTP 500.
+func (s JobSpec) key() (string, error) {
 	b, err := json.Marshal(s)
 	if err != nil {
-		// A JobSpec of scalars cannot fail to marshal.
-		panic("labd: marshal spec: " + err.Error())
+		return "", fmt.Errorf("labd: marshal spec: %w", err)
 	}
 	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // SubmitRequest is the POST /v1/jobs payload: the job plus delivery

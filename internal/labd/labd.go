@@ -30,10 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"jvmgc/internal/faultinject"
 	"jvmgc/internal/simtime"
 	"jvmgc/internal/telemetry"
 )
@@ -58,6 +60,17 @@ type Config struct {
 	// MaxJobRecords bounds the in-memory job registry (completed records
 	// are evicted oldest-first past the bound). Default 1024.
 	MaxJobRecords int
+	// CacheDir, when set, backs the result cache with a crash-safe
+	// on-disk tier: entries are SHA-256-verified, written atomically
+	// (write-then-rename), survive restarts and LRU eviction, and
+	// corrupt entries are detected on read and transparently recomputed.
+	// Empty keeps the cache memory-only.
+	CacheDir string
+	// Chaos is the fault injector threaded through the scheduler, cache
+	// and HTTP surface (see the Fault* site constants). Nil — the
+	// default — is a zero-cost no-op; production daemons never pay for
+	// the fault points they carry.
+	Chaos *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +101,28 @@ var (
 	ErrQueueFull = errors.New("labd: job queue full")
 	// ErrDraining reports a daemon that has stopped accepting work.
 	ErrDraining = errors.New("labd: draining, not accepting jobs")
+	// ErrJobPanicked marks a job whose execution panicked. The panic is
+	// confined to the job: its error carries the recovered value and
+	// stack, the daemon keeps serving, and labd.jobs.panicked counts it.
+	ErrJobPanicked = errors.New("labd: job panicked")
+)
+
+// Fault-injection sites the daemon carries (internal/faultinject). All
+// of them are inert unless Config.Chaos arms them.
+const (
+	// FaultJobPanic panics inside job execution, exercising the
+	// scheduler's panic isolation.
+	FaultJobPanic = "labd/job.panic"
+	// FaultJobError fails job execution with a transient error.
+	FaultJobError = "labd/job.error"
+	// FaultJobLatency delays job execution by the rule's delay.
+	FaultJobLatency = "labd/job.latency"
+	// FaultCacheCorrupt flips a byte of an on-disk cache entry's payload
+	// as it is read, before checksum verification.
+	FaultCacheCorrupt = "labd/cache.corrupt"
+	// FaultHTTPFlaky fails /v1/* requests with 503 before they reach a
+	// handler, exercising client retry behaviour.
+	FaultHTTPFlaky = "labd/http.flaky"
 )
 
 // errInvalid wraps spec validation failures (HTTP 400).
@@ -161,11 +196,13 @@ type Server struct {
 	cfg   Config
 	rec   *telemetry.Recorder
 	cache *resultCache
+	chaos *faultinject.Injector
 	queue chan *Job
 
 	// runSpec is the execution function; tests substitute it to model
-	// slow or failing jobs without running simulations.
-	runSpec func(spec JobSpec, parallelism int) (*JobResult, error)
+	// slow or failing jobs without running simulations. The context
+	// carries the job's deadline, propagated from the HTTP request.
+	runSpec func(ctx context.Context, spec JobSpec, parallelism int) (*JobResult, error)
 
 	started time.Time
 	workers sync.WaitGroup
@@ -178,18 +215,33 @@ type Server struct {
 	order    []string // registration order, for record eviction
 }
 
-// New builds a daemon and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a daemon and starts its worker pool. It fails only when
+// Config.CacheDir is set and cannot be created.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	rec := telemetry.New(telemetry.Config{})
+	var disk *diskCache
+	if cfg.CacheDir != "" {
+		var err error
+		if disk, err = newDiskCache(cfg.CacheDir, rec, cfg.Chaos); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
-		rec:     telemetry.New(telemetry.Config{}),
-		cache:   newResultCache(cfg.CacheEntries),
+		rec:     rec,
+		cache:   newResultCache(cfg.CacheEntries, disk),
+		chaos:   cfg.Chaos,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		runSpec: runSpec,
 		started: time.Now(),
 		jobs:    make(map[string]*Job),
 	}
+	// Pre-register the resilience counters so /metrics exposes them at
+	// zero before (and whether or not) anything goes wrong.
+	s.rec.Add("labd.jobs.panicked", 0)
+	s.rec.Add("labd.cache.corruptions.detected", 0)
+	s.rec.Add("labd.http.injected.faults", 0)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go func() {
@@ -199,7 +251,7 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	return s, nil
 }
 
 // Submit validates, registers and resolves one job: from the cache, by
@@ -207,21 +259,43 @@ func New(cfg Config) *Server {
 // fresh execution. The returned job may already be done (cache hit).
 // Errors: errInvalid (bad spec), ErrQueueFull, ErrDraining.
 func (s *Server) Submit(req SubmitRequest) (*Job, error) {
+	return s.SubmitContext(context.Background(), req)
+}
+
+// SubmitContext is Submit with deadline propagation: when ctx carries a
+// deadline tighter than the job's timeout, the deadline caps it, so an
+// upstream budget (an HTTP request deadline, a campaign cutoff) flows
+// through the scheduler into the simulation. Only the deadline
+// propagates — cancelling ctx does not cancel the job, preserving the
+// rule that a client walking away never wastes deterministic work.
+func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, error) {
 	spec, err := req.Job.normalized()
 	if err != nil {
 		s.rec.Add("labd.jobs.rejected", 1)
 		return nil, errInvalid{err}
 	}
+	key, err := spec.key()
+	if err != nil {
+		// Marshal failure is a daemon bug, not a client one: surface it
+		// as a plain error (HTTP 500) instead of panicking the daemon.
+		s.rec.Add("labd.jobs.rejected", 1)
+		return nil, err
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutSeconds > 0 {
 		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining < timeout {
+			timeout = remaining
+		}
+	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	jctx, cancel := context.WithTimeout(context.Background(), timeout)
 	j := &Job{
-		Key:      spec.key(),
+		Key:      key,
 		spec:     spec,
-		ctx:      ctx,
+		ctx:      jctx,
 		cancel:   cancel,
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
@@ -364,11 +438,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	outcome := make(chan execOutcome, 1)
 	go func() {
-		res, err := s.runSpec(j.spec, s.cfg.Parallelism)
-		var bytes []byte
-		if err == nil {
-			bytes, err = marshalResult(res)
-		}
+		bytes, err := s.execute(j)
 		// Complete the flight regardless of the leader's fate: followers
 		// and future requests get the result even if the leader's
 		// deadline passed mid-run.
@@ -381,6 +451,39 @@ func (s *Server) runJob(j *Job) {
 	case <-j.ctx.Done():
 		s.finish(j, nil, j.ctx.Err())
 	}
+}
+
+// execute runs one job's body with panic isolation: a panicking
+// simulation (or an injected chaos panic) fails that job with the
+// recovered value and its stack, while the worker, its queue and the
+// daemon keep serving. Fault points run inside the recover scope so
+// chaos exercises the same containment a real bug would.
+func (s *Server) execute(j *Job) (bytes []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.rec.Add("labd.jobs.panicked", 1)
+			bytes = nil
+			err = fmt.Errorf("%w: %v\n%s", ErrJobPanicked, r, debug.Stack())
+		}
+	}()
+	if d := s.chaos.Latency(FaultJobLatency); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-j.ctx.Done():
+			return nil, j.ctx.Err()
+		}
+	}
+	if err := s.chaos.Error(FaultJobError); err != nil {
+		return nil, err
+	}
+	if s.chaos.Fire(FaultJobPanic) {
+		panic("faultinject: injected panic at " + FaultJobPanic)
+	}
+	res, err := s.runSpec(j.ctx, j.spec, s.cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return marshalResult(res)
 }
 
 // finish moves a job to its terminal status exactly once.
@@ -415,8 +518,17 @@ func (s *Server) QueueDepth() int { return len(s.queue) }
 // Running returns the number of jobs executing right now.
 func (s *Server) Running() int { return int(s.running.Load()) }
 
-// CacheLen returns the number of cached results.
+// CacheLen returns the number of cached results held in memory.
 func (s *Server) CacheLen() int { return s.cache.len() }
+
+// DiskCacheEntries returns the number of entries in the on-disk cache
+// tier (zero when the daemon runs memory-only).
+func (s *Server) DiskCacheEntries() int {
+	if s.cache.disk == nil {
+		return 0
+	}
+	return s.cache.disk.entries()
+}
 
 // Recorder exposes the daemon's telemetry recorder (counters and job
 // latency spans).

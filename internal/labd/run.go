@@ -1,6 +1,7 @@
 package labd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -53,8 +54,16 @@ func marshalResult(res *JobResult) ([]byte, error) {
 // runSpec executes one normalized spec against the laboratory.
 // parallelism bounds the worker fan-out of sweep-shaped kinds (advise,
 // ranking); single-run kinds ignore it. Execution is synchronous and
-// deterministic in the spec.
-func runSpec(spec JobSpec, parallelism int) (*JobResult, error) {
+// deterministic in the spec. ctx carries the job's deadline, propagated
+// from the submitting request through the scheduler: a job dequeued
+// after its deadline never starts simulating. The per-kind simulation
+// calls are uninterruptible once started — the scheduler's watcher fails
+// the job at its deadline and the completed work still lands in the
+// cache.
+func runSpec(ctx context.Context, spec JobSpec, parallelism int) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := &JobResult{Kind: spec.Kind, Spec: spec}
 	simDur := time.Duration(spec.DurationSeconds * float64(time.Second))
 	switch spec.Kind {

@@ -10,9 +10,12 @@ import (
 
 // stubServer builds a daemon whose runner is replaced by fn, so
 // scheduler behaviour is testable without running simulations.
-func stubServer(t *testing.T, cfg Config, fn func(spec JobSpec, parallelism int) (*JobResult, error)) *Server {
+func stubServer(t *testing.T, cfg Config, fn func(ctx context.Context, spec JobSpec, parallelism int) (*JobResult, error)) *Server {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.runSpec = fn
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -31,7 +34,7 @@ func simSpec(seed uint64) JobSpec {
 func TestBackpressure(t *testing.T) {
 	release := make(chan struct{})
 	s := stubServer(t, Config{Workers: 1, QueueDepth: 1},
-		func(spec JobSpec, _ int) (*JobResult, error) {
+		func(_ context.Context, spec JobSpec, _ int) (*JobResult, error) {
 			<-release
 			return &JobResult{Kind: spec.Kind, Spec: spec, Text: "ok"}, nil
 		})
@@ -73,7 +76,7 @@ func TestBackpressure(t *testing.T) {
 func TestJobTimeout(t *testing.T) {
 	release := make(chan struct{})
 	s := stubServer(t, Config{Workers: 1, QueueDepth: 4},
-		func(spec JobSpec, _ int) (*JobResult, error) {
+		func(_ context.Context, spec JobSpec, _ int) (*JobResult, error) {
 			<-release
 			return &JobResult{Kind: spec.Kind, Spec: spec, Text: "late"}, nil
 		})
@@ -119,7 +122,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	release := make(chan struct{})
 	var ran atomic.Int64
 	s := stubServer(t, Config{Workers: 1, QueueDepth: 4},
-		func(spec JobSpec, _ int) (*JobResult, error) {
+		func(_ context.Context, spec JobSpec, _ int) (*JobResult, error) {
 			ran.Add(1)
 			if spec.Seed == 1 {
 				<-release
@@ -166,8 +169,11 @@ func TestCancelQueuedJob(t *testing.T) {
 // TestDrainRejectsAndFinishes: Drain stops intake, finishes queued work,
 // and makes later submissions fail with ErrDraining.
 func TestDrainRejectsAndFinishes(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8})
-	s.runSpec = func(spec JobSpec, _ int) (*JobResult, error) {
+	s, err := New(Config{Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runSpec = func(_ context.Context, spec JobSpec, _ int) (*JobResult, error) {
 		time.Sleep(10 * time.Millisecond)
 		return &JobResult{Kind: spec.Kind, Spec: spec}, nil
 	}
