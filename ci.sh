@@ -3,9 +3,13 @@
 # labd daemon's scheduler/cache/e2e suite and the fault-injection
 # package), a chaos smoke (the fixed-seed campaign: injected panic,
 # cache corruption and flaky HTTP must all converge byte-identically),
-# and the benchmark smoke (compile + single iteration): the telemetry
+# the benchmark smoke (compile + single iteration): the telemetry
 # disabled path, the labd cache-hit vs cold-run pair, and the no-op
-# fault-point overhead guard.
+# fault-point overhead guard — and the bench-gate step, which measures
+# the kernel-bound benchmarks and fails on regression against the
+# committed BENCH_baseline.json (>25% ns/op, or any allocs/op growth:
+# allocation counts are deterministic, so an increase is a real leak
+# back onto the hot path).
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -15,3 +19,14 @@ go vet ./internal/labd/... ./internal/faultinject/...
 go test -race ./...
 go test -race -count=1 -run 'TestChaosCampaignConvergence|TestWarmRestartAndCorruptionRecovery' ./internal/labd/
 go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint' -benchtime=1x ./...
+
+# bench-gate: re-measure the kernel-bound artifact benchmarks (without
+# -race; the gate measures the product, not the detector) and compare.
+go build -o /tmp/benchdiff ./cmd/benchdiff
+{
+  go test -run=NONE -bench 'BenchmarkFigure3Ranking' -benchmem -benchtime=5x -count=2 .
+  go test -run=NONE -bench 'BenchmarkSimulatedHour' -benchmem -benchtime=10x -count=2 ./internal/jvm/
+  go test -run=NONE -bench 'BenchmarkColdRun|BenchmarkCacheHit' -benchmem -count=2 ./internal/labd/
+  go test -run=NONE -bench 'BenchmarkScheduleFire|BenchmarkScheduleCancel' -benchmem -count=2 ./internal/event/
+} > /tmp/bench_current.txt
+/tmp/benchdiff -in /tmp/bench_current.txt -out /tmp/BENCH_current.json -baseline BENCH_baseline.json

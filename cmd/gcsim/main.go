@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"jvmgc"
+	"jvmgc/internal/profiling"
 )
 
 func main() {
@@ -35,8 +36,15 @@ func main() {
 		traceOut      = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
 		metricsOut    = flag.String("metrics-out", "", "write a Prometheus text-format metrics snapshot of the run to this file")
 		sample        = flag.Duration("sample-interval", 100*time.Millisecond, "flight-recorder time-series sample interval (simulated time)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile    = flag.String("memprofile", "", "write an allocation profile of the run to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	stopCPU, perr := profiling.Start(*cpuprofile)
+	if perr != nil {
+		fatal(perr)
+	}
 
 	heapBytes, err := parseSize(*heap)
 	if err != nil {
@@ -95,6 +103,11 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+
+	stopCPU()
+	if err := profiling.WriteHeap(*memprofile); err != nil {
+		fatal(err)
 	}
 
 	if *asJSON {

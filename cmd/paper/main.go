@@ -22,21 +22,36 @@ import (
 
 	"jvmgc"
 	"jvmgc/internal/core"
+	"jvmgc/internal/profiling"
 	"jvmgc/internal/textplot"
 	"jvmgc/internal/ycsb"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "shrink stability repetitions for a faster smoke run")
-		seed     = flag.Uint64("seed", 42, "random seed (the evaluation is fully deterministic)")
-		out      = flag.String("out", "", "directory to write raw figure series into")
-		plot     = flag.Bool("plot", false, "render the figures as ASCII scatter plots")
-		extended = flag.Bool("extended", false, "also run the extension studies (nogc, machines, g1sweep, workloads, cluster, ext)")
-		par      = flag.Int("parallelism", 0, "worker pool size for independent experiment runs (0 = all cores); results are identical at any setting")
-		only     = flag.String("only", "", "run a single artifact: t2, f1, f2, t3, t4, f3, f4, f5, t8, nogc (§3.3 statistics), seeds (claim robustness), machines (topology sensitivity), g1sweep (pause-target frontier), workloads (YCSB A-F comparison), cluster (3-node ring extension), ext (HTM future-work study)")
+		quick      = flag.Bool("quick", false, "shrink stability repetitions for a faster smoke run")
+		seed       = flag.Uint64("seed", 42, "random seed (the evaluation is fully deterministic)")
+		out        = flag.String("out", "", "directory to write raw figure series into")
+		plot       = flag.Bool("plot", false, "render the figures as ASCII scatter plots")
+		extended   = flag.Bool("extended", false, "also run the extension studies (nogc, machines, g1sweep, workloads, cluster, ext)")
+		par        = flag.Int("parallelism", 0, "worker pool size for independent experiment runs (0 = all cores); results are identical at any setting")
+		only       = flag.String("only", "", "run a single artifact: t2, f1, f2, t3, t4, f3, f4, f5, t8, nogc (§3.3 statistics), seeds (claim robustness), machines (topology sensitivity), g1sweep (pause-target frontier), workloads (YCSB A-F comparison), cluster (3-node ring extension), ext (HTM future-work study)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile of the evaluation to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.Start(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+	finishProfiles := func() {
+		stopCPU()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+		}
+	}
 
 	start := time.Now()
 	lab := core.NewLab(*seed)
@@ -46,7 +61,9 @@ func main() {
 	lab.Parallelism = *par
 
 	if *only != "" {
-		if err := runOne(lab, *only); err != nil {
+		err := runOne(lab, *only)
+		finishProfiles()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}
@@ -79,6 +96,7 @@ func main() {
 		}
 		fmt.Printf("raw figure series written to %s\n", *out)
 	}
+	finishProfiles()
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 

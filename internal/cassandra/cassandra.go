@@ -243,6 +243,11 @@ func Run(cfg Config) (Result, error) {
 	rng := xrand.New(cfg.Seed).SplitLabeled("cassandra/" + cfg.CollectorName)
 
 	res := Result{Config: cfg}
+	// The record curve gains ~400 duration-spaced samples plus endpoints.
+	res.Records = make([]RecordPoint, 0, 404)
+	ctrFlushes := cfg.Recorder.CounterHandle("cassandra.flushes")
+	ctrFlushedBytes := cfg.Recorder.CounterHandle("cassandra.flushed_bytes")
+	ctrCompactions := cfg.Recorder.CounterHandle("cassandra.compactions")
 
 	// Workload shape: writes deposit HeapPerRecord of long-lived bytes in
 	// the memtable; every op allocates TransientPerOp of short/medium
@@ -359,8 +364,8 @@ func Run(cfg Config) (Result, error) {
 					telemetry.ByteCount("released", machine.Bytes(releasable)),
 					telemetry.ByteCount("retained", machine.Bytes(memtable*cfg.RetentionFrac)),
 				)
-				cfg.Recorder.Add("cassandra.flushes", 1)
-				cfg.Recorder.Add("cassandra.flushed_bytes", int64(releasable))
+				ctrFlushes.Add(1)
+				ctrFlushedBytes.Add(int64(releasable))
 			}
 			retained += memtable * cfg.RetentionFrac
 			memtable = 0
@@ -390,7 +395,7 @@ func Run(cfg Config) (Result, error) {
 						telemetry.ByteCount("merged", machine.Bytes(mergeBytes)),
 						telemetry.Num("threads", float64(cfg.CompactionThreads)),
 					)
-					cfg.Recorder.Add("cassandra.compactions", 1)
+					ctrCompactions.Add(1)
 				}
 				j.SetBackgroundCPU(cfg.CompactionThreads)
 			}
@@ -411,13 +416,6 @@ func Run(cfg Config) (Result, error) {
 		cfg.Recorder.Add("cassandra.ops_completed", res.OpsCompleted)
 	}
 	return res, nil
-}
-
-func longFracOf(long, total float64) float64 {
-	if total <= 0 {
-		return 0
-	}
-	return long / total
 }
 
 // RecordsAt returns the database size at instant t by stepping the sample

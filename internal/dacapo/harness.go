@@ -179,6 +179,7 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	res := Result{Log: j.Log()}
+	res.Iterations = make([]simtime.Duration, 0, cfg.Iterations)
 	for it := 0; it < cfg.Iterations; it++ {
 		start := j.Now()
 		if cfg.SystemGC && it > 0 {

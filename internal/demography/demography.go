@@ -72,18 +72,24 @@ type cohort struct {
 	age    int
 }
 
-// liveAt returns the cohort's per-component live bytes at time t.
-func (c *cohort) liveAt(t simtime.Time, p Profile) (short, medium, long float64) {
+// liveAt returns the cohort's per-component live bytes at time t. The
+// mean lifetimes arrive pre-converted to seconds (hoisted out of the
+// per-cohort decay; the division by the same float64 yields bit-identical
+// results to converting per call).
+func (c *cohort) liveAt(t simtime.Time, meanShortSec, meanMediumSec float64) (short, medium, long float64) {
 	dt := t.Sub(c.birth).Seconds()
-	if dt < 0 {
-		dt = 0
-	}
 	short, medium, long = c.short, c.medium, c.long
-	if short > 0 && p.MeanShort > 0 {
-		short *= math.Exp(-dt / p.MeanShort.Seconds())
+	if dt <= 0 {
+		// Exp(0) is exactly 1 and x*1.0 == x, so querying a cohort at its
+		// birth instant (freshly rebased cohorts, same-event queries) can
+		// skip the exponentials without changing a bit of the result.
+		return short, medium, long
 	}
-	if medium > 0 && p.MeanMedium > 0 {
-		medium *= math.Exp(-dt / p.MeanMedium.Seconds())
+	if short > 0 && meanShortSec > 0 {
+		short *= math.Exp(-dt / meanShortSec)
+	}
+	if medium > 0 && meanMediumSec > 0 {
+		medium *= math.Exp(-dt / meanMediumSec)
 	}
 	return short, medium, long
 }
@@ -92,8 +98,8 @@ func (c *cohort) total() float64 { return c.short + c.medium + c.long }
 
 // rebase replaces the cohort's amounts with its live amounts at t and
 // moves its birth to t. Exponential memorylessness makes this exact.
-func (c *cohort) rebase(t simtime.Time, p Profile) {
-	c.short, c.medium, c.long = c.liveAt(t, p)
+func (c *cohort) rebase(t simtime.Time, meanShortSec, meanMediumSec float64) {
+	c.short, c.medium, c.long = c.liveAt(t, meanShortSec, meanMediumSec)
 	c.birth = t
 }
 
@@ -111,6 +117,16 @@ type Tracker struct {
 	young  []cohort
 	old    []cohort
 	pinned machine.Bytes
+
+	// meanShortSec/meanMediumSec are the profile's mean lifetimes in
+	// seconds, converted once so the per-cohort decay path skips the
+	// Duration conversion.
+	meanShortSec  float64
+	meanMediumSec float64
+
+	// scratch is the survivor staging buffer MinorGC reuses across
+	// collections, so steady-state minor GCs allocate nothing.
+	scratch []cohort
 }
 
 // NewTracker returns an empty tracker for the given profile. It panics on
@@ -119,7 +135,13 @@ func NewTracker(p Profile) *Tracker {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Tracker{p: p}
+	return &Tracker{
+		p:             p,
+		meanShortSec:  p.MeanShort.Seconds(),
+		meanMediumSec: p.MeanMedium.Seconds(),
+		young:         make([]cohort, 0, 8),
+		old:           make([]cohort, 0, 8),
+	}
 }
 
 // Profile returns the tracker's lifetime profile.
@@ -198,7 +220,7 @@ func (tk *Tracker) AllocateSpread(t0, t1 simtime.Time, n machine.Bytes, pieces i
 func (tk *Tracker) YoungLive(t simtime.Time) machine.Bytes {
 	sum := 0.0
 	for i := range tk.young {
-		s, m, l := tk.young[i].liveAt(t, tk.p)
+		s, m, l := tk.young[i].liveAt(t, tk.meanShortSec, tk.meanMediumSec)
 		sum += s + m + l
 	}
 	return machine.Bytes(sum)
@@ -209,7 +231,7 @@ func (tk *Tracker) YoungLive(t simtime.Time) machine.Bytes {
 func (tk *Tracker) OldLive(t simtime.Time) machine.Bytes {
 	sum := 0.0
 	for i := range tk.old {
-		s, m, l := tk.old[i].liveAt(t, tk.p)
+		s, m, l := tk.old[i].liveAt(t, tk.meanShortSec, tk.meanMediumSec)
 		sum += s + m + l
 	}
 	return machine.Bytes(sum) + tk.pinned
@@ -294,12 +316,12 @@ func (tk *Tracker) MinorGC(t simtime.Time, tenure int, survivorCap machine.Bytes
 		tenure = 0
 	}
 	var out MinorOutcome
-	var stay []cohort
+	stay := tk.scratch[:0]
 	before := 0.0
 	for i := range tk.young {
 		c := tk.young[i]
 		bs, bm, bl := c.short, c.medium, c.long // occupancy contribution (at-birth bytes)
-		c.rebase(t, tk.p)
+		c.rebase(t, tk.meanShortSec, tk.meanMediumSec)
 		before += bs + bm + bl
 		if c.total() < minLiveBytes {
 			continue
@@ -312,6 +334,7 @@ func (tk *Tracker) MinorGC(t simtime.Time, tenure int, survivorCap machine.Bytes
 			stay = append(stay, c)
 		}
 	}
+	tk.scratch = stay[:0] // keep (possibly grown) backing for the next collection
 
 	// Enforce survivor capacity: promote oldest-first until the rest fit.
 	total := 0.0
@@ -327,10 +350,9 @@ func (tk *Tracker) MinorGC(t simtime.Time, tenure int, survivorCap machine.Bytes
 		total -= c.total()
 		i++
 	}
-	stay = stay[i:]
 
 	tk.young = tk.young[:0]
-	tk.young = append(tk.young, stay...)
+	tk.young = append(tk.young, stay[i:]...)
 	tk.mergeYoung()
 
 	out.Survived = machine.Bytes(total)
@@ -370,7 +392,7 @@ func (tk *Tracker) CollectOld(t simtime.Time) machine.Bytes {
 	agg.birth = t
 	maxAge := 0
 	for i := range tk.old {
-		s, m, l := tk.old[i].liveAt(t, tk.p)
+		s, m, l := tk.old[i].liveAt(t, tk.meanShortSec, tk.meanMediumSec)
 		agg.short += s
 		agg.medium += m
 		agg.long += l
@@ -393,7 +415,7 @@ func (tk *Tracker) CollectOld(t simtime.Time) machine.Bytes {
 func (tk *Tracker) FullGC(t simtime.Time) machine.Bytes {
 	for i := range tk.young {
 		c := tk.young[i]
-		c.rebase(t, tk.p)
+		c.rebase(t, tk.meanShortSec, tk.meanMediumSec)
 		if c.total() < minLiveBytes {
 			continue
 		}

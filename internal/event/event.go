@@ -2,7 +2,7 @@
 // drives every jvmgc simulation.
 //
 // A Sim owns a virtual clock and a priority queue of scheduled events.
-// Components schedule closures at future instants; Run repeatedly pops the
+// Components schedule handlers at future instants; Run repeatedly pops the
 // earliest event, advances the clock to its timestamp and executes it.
 // Executing an event may schedule or cancel further events. The kernel is
 // strictly single-threaded: determinism matters more than parallel
@@ -11,21 +11,46 @@
 //
 // Ties (events at the same instant) fire in scheduling order, which keeps
 // runs reproducible regardless of queue internals.
+//
+// Steady-state stepping is allocation-free: fired and cancelled Event
+// objects are recycled through a free list, and the priority queue is a
+// concrete binary heap (no container/heap interface dispatch). The
+// recycling imposes one contract on callers: an *Event handle is only
+// valid until the event fires or is cancelled. Holders must drop their
+// handle inside the handler (or immediately after observing Cancelled),
+// because the kernel may hand the same object out again from a later
+// Schedule. Every handler in the laboratory clears its registration as
+// its first statement, which satisfies the contract.
 package event
 
 import (
-	"container/heap"
 	"fmt"
 
 	"jvmgc/internal/simtime"
 )
 
-// Handler is a scheduled action. It runs with the simulation clock set to
-// its scheduled instant.
-type Handler func()
+// Handler is a scheduled action. Fire runs with the simulation clock set
+// to the scheduled instant.
+//
+// Handler is an interface rather than a func type so hot components can
+// pre-bind their actions without a closure allocation per binding: a
+// method on a pointer embedded in the component converts to a Handler
+// for free. One-off actions use Func (or ScheduleFunc/AfterFunc).
+type Handler interface {
+	Fire()
+}
+
+// Func adapts a plain function to a Handler. Func values are
+// pointer-shaped, so the interface conversion itself does not allocate.
+type Func func()
+
+// Fire invokes the function.
+func (f Func) Fire() { f() }
 
 // Event is a handle to a scheduled event. It can be used to cancel the
-// event before it fires.
+// event before it fires. Once the event fires or is cancelled the handle
+// is dead: the kernel recycles the object and a subsequent Schedule may
+// return it again.
 type Event struct {
 	at      simtime.Time
 	seq     uint64
@@ -43,14 +68,23 @@ func (e *Event) Cancelled() bool { return e.index < 0 }
 // Sim is a discrete-event simulator. The zero value is ready to use.
 type Sim struct {
 	now    simtime.Time
-	queue  eventQueue
+	queue  []*Event
+	free   []*Event
 	seq    uint64
 	fired  uint64
 	halted bool
 }
 
 // New returns a simulator with its clock at zero.
-func New() *Sim { return &Sim{} }
+func New() *Sim {
+	// Pre-size the heap and free list for the common steady state (a JVM
+	// keeps a handful of events in flight); short-lived sims in experiment
+	// sweeps then never regrow either slice.
+	return &Sim{
+		queue: make([]*Event, 0, 8),
+		free:  make([]*Event, 0, 8),
+	}
+}
 
 // Now returns the current simulated instant.
 func (s *Sim) Now() simtime.Time { return s.now }
@@ -60,11 +94,16 @@ func (s *Sim) Now() simtime.Time { return s.now }
 func (s *Sim) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events currently scheduled.
-func (s *Sim) Pending() int { return s.queue.Len() }
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// PoolSize returns the number of recycled Event objects currently waiting
+// for reuse (tests and diagnostics).
+func (s *Sim) PoolSize() int { return len(s.free) }
 
 // Schedule registers h to run at instant at. Scheduling in the past
 // (before Now) panics: that is always a simulation bug, and silently
-// reordering time would corrupt results.
+// reordering time would corrupt results. The returned handle is valid
+// only until the event fires or is cancelled.
 func (s *Sim) Schedule(at simtime.Time, h Handler) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("event: schedule at %v before now %v", at, s.now))
@@ -72,10 +111,35 @@ func (s *Sim) Schedule(at simtime.Time, h Handler) *Event {
 	if h == nil {
 		panic("event: schedule with nil handler")
 	}
-	e := &Event{at: at, seq: s.seq, handler: h}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		// Allocate events in small batches: one backing array serves the
+		// next few schedules, so a fresh sim reaches its steady-state pool
+		// in one allocation instead of one per event.
+		batch := make([]Event, 4)
+		for i := range batch[1:] {
+			s.free = append(s.free, &batch[1+i])
+		}
+		e = &batch[0]
+	}
+	e.at = at
+	e.seq = s.seq
+	e.handler = h
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
+}
+
+// ScheduleFunc is Schedule for a plain function.
+func (s *Sim) ScheduleFunc(at simtime.Time, f func()) *Event {
+	if f == nil {
+		panic("event: schedule with nil handler")
+	}
+	return s.Schedule(at, Func(f))
 }
 
 // After schedules h to run d after the current instant. Negative d is
@@ -87,15 +151,24 @@ func (s *Sim) After(d simtime.Duration, h Handler) *Event {
 	return s.Schedule(s.now.Add(d), h)
 }
 
-// Cancel removes a scheduled event. Cancelling an event that already fired
-// or was already cancelled is a no-op.
+// AfterFunc is After for a plain function.
+func (s *Sim) AfterFunc(d simtime.Duration, f func()) *Event {
+	if f == nil {
+		panic("event: schedule with nil handler")
+	}
+	return s.After(d, Func(f))
+}
+
+// Cancel removes a scheduled event and recycles it. Cancelling an event
+// that already fired or was already cancelled is a no-op.
 func (s *Sim) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	heap.Remove(&s.queue, e.index)
+	s.remove(e.index)
 	e.index = -1
 	e.handler = nil
+	s.free = append(s.free, e)
 }
 
 // Halt stops the run loop after the current event completes. Pending
@@ -103,18 +176,22 @@ func (s *Sim) Cancel(e *Event) {
 func (s *Sim) Halt() { s.halted = true }
 
 // Step executes the single earliest pending event, advancing the clock.
-// It reports whether an event was executed.
+// It reports whether an event was executed. The fired event is recycled
+// after its handler returns, so a handle checked immediately after Step
+// still reads as cancelled; holding it across further scheduling is the
+// caller's bug (see the package comment).
 func (s *Sim) Step() bool {
-	if s.queue.Len() == 0 {
+	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.pop()
 	e.index = -1
 	s.now = e.at
 	h := e.handler
 	e.handler = nil
 	s.fired++
-	h()
+	h.Fire()
+	s.free = append(s.free, e)
 	return true
 }
 
@@ -126,7 +203,7 @@ func (s *Sim) Run(deadline simtime.Time) uint64 {
 	s.halted = false
 	start := s.fired
 	for !s.halted {
-		if s.queue.Len() == 0 {
+		if len(s.queue) == 0 {
 			// A bounded run advances the clock to its deadline even when
 			// no events remain; an unbounded RunAll stays at the last
 			// event.
@@ -148,35 +225,87 @@ func (s *Sim) Run(deadline simtime.Time) uint64 {
 // It returns the number of events executed.
 func (s *Sim) RunAll() uint64 { return s.Run(simtime.MaxTime) }
 
-// eventQueue is a min-heap on (time, seq).
-type eventQueue []*Event
+// The queue is a binary min-heap on (at, seq). seq is unique per event, so
+// the order is total and pop order is independent of heap internals.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders queue entries i and j.
+func (s *Sim) less(i, j int) bool {
+	a, b := s.queue[i], s.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+// swap exchanges queue entries i and j, maintaining their heap indices.
+func (s *Sim) swap(i, j int) {
+	q := s.queue
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x interface{}) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// push appends e and restores the heap property.
+func (s *Sim) push(e *Event) {
+	e.index = len(s.queue)
+	s.queue = append(s.queue, e)
+	s.up(e.index)
 }
 
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+// pop removes and returns the minimum entry.
+func (s *Sim) pop() *Event {
+	n := len(s.queue) - 1
+	s.swap(0, n)
+	s.down(0, n)
+	e := s.queue[n]
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
 	return e
+}
+
+// remove deletes the entry at index i.
+func (s *Sim) remove(i int) {
+	n := len(s.queue) - 1
+	if n != i {
+		s.swap(i, n)
+		if !s.down(i, n) {
+			s.up(i)
+		}
+	}
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
+}
+
+// up sifts entry j toward the root.
+func (s *Sim) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !s.less(j, i) {
+			break
+		}
+		s.swap(i, j)
+		j = i
+	}
+}
+
+// down sifts entry i0 toward the leaves within queue[:n]. It reports
+// whether the entry moved.
+func (s *Sim) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s.swap(i, j)
+		i = j
+	}
+	return i > i0
 }

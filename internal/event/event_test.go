@@ -12,9 +12,9 @@ import (
 func TestEventsFireInTimeOrder(t *testing.T) {
 	s := New()
 	var order []int
-	s.Schedule(3*simtime.Time(simtime.Second), func() { order = append(order, 3) })
-	s.Schedule(1*simtime.Time(simtime.Second), func() { order = append(order, 1) })
-	s.Schedule(2*simtime.Time(simtime.Second), func() { order = append(order, 2) })
+	s.ScheduleFunc(3*simtime.Time(simtime.Second), func() { order = append(order, 3) })
+	s.ScheduleFunc(1*simtime.Time(simtime.Second), func() { order = append(order, 1) })
+	s.ScheduleFunc(2*simtime.Time(simtime.Second), func() { order = append(order, 2) })
 	if n := s.RunAll(); n != 3 {
 		t.Fatalf("executed %d events, want 3", n)
 	}
@@ -34,7 +34,7 @@ func TestTiesFireInSchedulingOrder(t *testing.T) {
 	at := simtime.Time(simtime.Second)
 	for i := 0; i < 10; i++ {
 		i := i
-		s.Schedule(at, func() { order = append(order, i) })
+		s.ScheduleFunc(at, func() { order = append(order, i) })
 	}
 	s.RunAll()
 	if !sort.IntsAreSorted(order) {
@@ -44,7 +44,7 @@ func TestTiesFireInSchedulingOrder(t *testing.T) {
 
 func TestClockAdvancesOnlyOnExecution(t *testing.T) {
 	s := New()
-	s.Schedule(simtime.Time(5*simtime.Second), func() {})
+	s.ScheduleFunc(simtime.Time(5*simtime.Second), func() {})
 	if s.Now() != 0 {
 		t.Errorf("clock moved on schedule: %v", s.Now())
 	}
@@ -56,14 +56,14 @@ func TestClockAdvancesOnlyOnExecution(t *testing.T) {
 
 func TestSchedulingInPastPanics(t *testing.T) {
 	s := New()
-	s.Schedule(simtime.Time(simtime.Second), func() {})
+	s.ScheduleFunc(simtime.Time(simtime.Second), func() {})
 	s.RunAll()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
 		}
 	}()
-	s.Schedule(0, func() {})
+	s.ScheduleFunc(0, func() {})
 }
 
 func TestNilHandlerPanics(t *testing.T) {
@@ -72,13 +72,13 @@ func TestNilHandlerPanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	New().Schedule(0, nil)
+	New().ScheduleFunc(0, nil)
 }
 
 func TestAfterNegativeClamps(t *testing.T) {
 	s := New()
 	fired := false
-	s.After(-simtime.Second, func() { fired = true })
+	s.AfterFunc(-simtime.Second, func() { fired = true })
 	s.RunAll()
 	if !fired {
 		t.Error("negative After never fired")
@@ -91,7 +91,7 @@ func TestAfterNegativeClamps(t *testing.T) {
 func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
-	e := s.Schedule(simtime.Time(simtime.Second), func() { fired = true })
+	e := s.ScheduleFunc(simtime.Time(simtime.Second), func() { fired = true })
 	s.Cancel(e)
 	if !e.Cancelled() {
 		t.Error("event not marked cancelled")
@@ -111,7 +111,7 @@ func TestCancelMiddleOfQueue(t *testing.T) {
 	var events []*Event
 	for i := 0; i < 20; i++ {
 		i := i
-		events = append(events, s.Schedule(simtime.Time(i)*simtime.Time(simtime.Second), func() {
+		events = append(events, s.ScheduleFunc(simtime.Time(i)*simtime.Time(simtime.Second), func() {
 			order = append(order, i)
 		}))
 	}
@@ -133,10 +133,10 @@ func TestCancelMiddleOfQueue(t *testing.T) {
 func TestEventsScheduledDuringExecution(t *testing.T) {
 	s := New()
 	var order []string
-	s.Schedule(simtime.Time(simtime.Second), func() {
+	s.ScheduleFunc(simtime.Time(simtime.Second), func() {
 		order = append(order, "a")
-		s.After(simtime.Second, func() { order = append(order, "b") })
-		s.After(0, func() { order = append(order, "a2") })
+		s.AfterFunc(simtime.Second, func() { order = append(order, "b") })
+		s.AfterFunc(0, func() { order = append(order, "a2") })
 	})
 	s.RunAll()
 	if len(order) != 3 || order[0] != "a" || order[1] != "a2" || order[2] != "b" {
@@ -148,7 +148,7 @@ func TestRunDeadline(t *testing.T) {
 	s := New()
 	fired := 0
 	for i := 1; i <= 10; i++ {
-		s.Schedule(simtime.Time(i)*simtime.Time(simtime.Second), func() { fired++ })
+		s.ScheduleFunc(simtime.Time(i)*simtime.Time(simtime.Second), func() { fired++ })
 	}
 	n := s.Run(simtime.Time(5*simtime.Second + simtime.Millisecond))
 	if n != 5 || fired != 5 {
@@ -171,7 +171,7 @@ func TestHalt(t *testing.T) {
 	s := New()
 	fired := 0
 	for i := 1; i <= 10; i++ {
-		s.Schedule(simtime.Time(i)*simtime.Time(simtime.Second), func() {
+		s.ScheduleFunc(simtime.Time(i)*simtime.Time(simtime.Second), func() {
 			fired++
 			if fired == 3 {
 				s.Halt()
@@ -192,7 +192,7 @@ func TestHalt(t *testing.T) {
 func TestFiredCounter(t *testing.T) {
 	s := New()
 	for i := 0; i < 5; i++ {
-		s.After(simtime.Duration(i), func() {})
+		s.AfterFunc(simtime.Duration(i), func() {})
 	}
 	s.RunAll()
 	if s.Fired() != 5 {
@@ -207,6 +207,182 @@ func TestStepOnEmptyQueue(t *testing.T) {
 	}
 }
 
+func TestPoolRecyclesFiredEvents(t *testing.T) {
+	s := New()
+	e1 := s.ScheduleFunc(simtime.Time(simtime.Second), func() {})
+	s.RunAll()
+	// The first Schedule seeded the free list with a batch; the fired
+	// event lands on top of the remaining spares.
+	free := s.PoolSize()
+	if free < 1 {
+		t.Fatalf("pool size = %d after fire, want >= 1", free)
+	}
+	e2 := s.ScheduleFunc(simtime.Time(2*simtime.Second), func() {})
+	if e1 != e2 {
+		t.Error("fired event was not recycled by the next Schedule")
+	}
+	if s.PoolSize() != free-1 {
+		t.Errorf("pool size = %d after reuse, want %d", s.PoolSize(), free-1)
+	}
+}
+
+func TestPoolRecyclesCancelledEvents(t *testing.T) {
+	s := New()
+	e := s.ScheduleFunc(simtime.Time(simtime.Second), func() {})
+	s.Cancel(e)
+	if s.PoolSize() < 1 {
+		t.Fatalf("pool size = %d after cancel, want >= 1", s.PoolSize())
+	}
+	fired := false
+	e2 := s.ScheduleFunc(simtime.Time(simtime.Second), func() { fired = true })
+	if e2 != e {
+		t.Error("cancelled event was not recycled")
+	}
+	if e2.Cancelled() {
+		t.Error("recycled event reads as cancelled before firing")
+	}
+	s.RunAll()
+	if !fired {
+		t.Error("rescheduled recycled event never fired")
+	}
+}
+
+// TestPoolRescheduleLoop exercises the steady-state schedule/fire/cancel
+// churn of a simulation: a self-rescheduling tick plus a repeatedly
+// cancelled-and-rearmed event, the jvm package's two usage patterns. The
+// pool must stay bounded and the tick order exact.
+func TestPoolRescheduleLoop(t *testing.T) {
+	s := New()
+	var ticks []simtime.Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, s.Now())
+		if len(ticks) < 100 {
+			s.AfterFunc(simtime.Second, tick)
+		}
+	}
+	s.AfterFunc(simtime.Second, tick)
+
+	var armed *Event
+	rearm := func() {
+		s.Cancel(armed)
+		armed = s.ScheduleFunc(s.Now().Add(10*simtime.Second), func() {
+			t.Error("rearmed event fired despite constant cancellation")
+		})
+	}
+	for i := 0; i < 50; i++ {
+		rearm()
+	}
+	s.Run(simtime.Time(5 * simtime.Second))
+	for i := 0; i < 50; i++ {
+		rearm()
+	}
+	s.Cancel(armed)
+	s.RunAll()
+
+	if len(ticks) != 100 {
+		t.Fatalf("ticks = %d, want 100", len(ticks))
+	}
+	for i, at := range ticks {
+		if at != simtime.Time(i+1)*simtime.Time(simtime.Second) {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+	// One live object per concurrently pending event plus batch spares, no
+	// leak beyond: schedule/fire/cancel churn must recycle, not allocate.
+	if s.PoolSize() > 8 {
+		t.Errorf("pool grew to %d objects, want <= 8", s.PoolSize())
+	}
+}
+
+// TestTieOrderUnderRecycling pins the (at, seq) contract across pooling:
+// recycled Event objects must fire in scheduling order when tied, exactly
+// like fresh ones.
+func TestTieOrderUnderRecycling(t *testing.T) {
+	s := New()
+	// Load and drain the pool so subsequent schedules reuse objects.
+	for i := 0; i < 8; i++ {
+		s.ScheduleFunc(0, func() {})
+	}
+	s.RunAll()
+	if s.PoolSize() < 8 {
+		t.Fatalf("pool size = %d, want >= 8", s.PoolSize())
+	}
+	var order []int
+	at := simtime.Time(simtime.Second)
+	for i := 0; i < 8; i++ {
+		i := i
+		s.ScheduleFunc(at, func() { order = append(order, i) })
+	}
+	// Interleave cancels to shuffle heap internals.
+	e := s.ScheduleFunc(at, func() { t.Error("cancelled event fired") })
+	s.Cancel(e)
+	for i := 8; i < 12; i++ {
+		i := i
+		s.ScheduleFunc(at, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	if !sort.IntsAreSorted(order) || len(order) != 12 {
+		t.Errorf("tied recycled events fired out of order: %v", order)
+	}
+}
+
+// TestSteadyStateSteppingAllocationFree proves the tentpole property: once
+// the pool is warm, the schedule/fire cycle performs zero heap
+// allocations.
+func TestSteadyStateSteppingAllocationFree(t *testing.T) {
+	s := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 20000 {
+			s.AfterFunc(simtime.Millisecond, tick)
+		}
+	}
+	s.AfterFunc(simtime.Millisecond, tick)
+	s.Run(simtime.Time(simtime.Second)) // warm the pool and queue
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 50; i++ {
+			s.Step()
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state stepping allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	s := New()
+	var tick func()
+	tick = func() { s.AfterFunc(simtime.Microsecond, tick) }
+	s.AfterFunc(simtime.Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the rearm pattern (scheduleEden's
+// cancel-and-reschedule on every collection).
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New()
+	h := func() {}
+	// A background population keeps the heap non-trivial.
+	for i := 0; i < 64; i++ {
+		s.ScheduleFunc(simtime.Time(i)*simtime.Time(simtime.Second), h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var e *Event
+	for i := 0; i < b.N; i++ {
+		s.Cancel(e)
+		e = s.ScheduleFunc(simtime.Time(simtime.Hour), h)
+	}
+}
+
 func TestQuickRandomScheduleFiresSorted(t *testing.T) {
 	f := func(seed uint64, raw []uint16) bool {
 		if len(raw) > 200 {
@@ -217,7 +393,7 @@ func TestQuickRandomScheduleFiresSorted(t *testing.T) {
 		var fired []simtime.Time
 		for range raw {
 			at := simtime.Time(r.Uint64n(1000)) * simtime.Time(simtime.Millisecond)
-			s.Schedule(at, func() { fired = append(fired, s.Now()) })
+			s.ScheduleFunc(at, func() { fired = append(fired, s.Now()) })
 		}
 		s.RunAll()
 		if len(fired) != len(raw) {

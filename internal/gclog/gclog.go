@@ -102,6 +102,11 @@ func New() *Log { return &Log{} }
 // Append adds an event. Events must be appended in non-decreasing start
 // order; out-of-order appends panic because they indicate a simulator bug.
 func (l *Log) Append(e Event) {
+	if l.events == nil {
+		// Skip the smallest append growth steps; long logs double from here
+		// in a handful of regrows.
+		l.events = make([]Event, 0, 16)
+	}
 	if n := len(l.events); n > 0 && e.Start < l.events[n-1].Start {
 		panic(fmt.Sprintf("gclog: out-of-order append: %v after %v",
 			e.Start, l.events[n-1].Start))

@@ -125,11 +125,11 @@ func (j *JVM) minorGC(cause string) {
 		if j.rec != nil {
 			switch failCause {
 			case gclog.CausePromotionFailure:
-				j.rec.Add("gc.failures.promotion", 1)
+				j.ctr.failPromotion.Add(1)
 			case gclog.CauseEvacuationFailure:
-				j.rec.Add("gc.failures.evacuation", 1)
+				j.ctr.failEvacuation.Add(1)
 			case gclog.CauseConcurrentModeFailure:
-				j.rec.Add("gc.failures.concurrent_mode", 1)
+				j.ctr.failConcMode.Add(1)
 			}
 		}
 		j.fullGCAt(failCause, pause, before)
@@ -140,13 +140,13 @@ func (j *JVM) minorGC(cause string) {
 	if j.rec != nil {
 		switch kind {
 		case gclog.PauseMixed:
-			j.rec.Add("gc.collections.mixed", 1)
+			j.ctr.collMixed.Add(1)
 		case gclog.PauseInitialMark:
-			j.rec.Add("gc.collections.initial_mark", 1)
+			j.ctr.collInitialMark.Add(1)
 		default:
-			j.rec.Add("gc.collections.young", 1)
+			j.ctr.collYoung.Add(1)
 		}
-		j.rec.Add("gc.promoted_bytes", int64(res.Promoted))
+		j.ctr.promotedBytes.Add(int64(res.Promoted))
 		j.tracePause(kind, cause, now, pause, ttsp, before, after, res.Promoted, s, segs)
 	}
 	j.beginPause(kind, cause, pause, before, after, res.Promoted)
@@ -185,7 +185,7 @@ func (j *JVM) fullGCAt(cause string, extra simtime.Duration, before machine.Byte
 		j.oomAt = now
 		j.oomBytes = heapShort
 		if j.rec != nil {
-			j.rec.Add("oom.events", 1)
+			j.ctr.oomEvents.Add(1)
 		}
 	}
 
@@ -196,7 +196,7 @@ func (j *JVM) fullGCAt(cause string, extra simtime.Duration, before machine.Byte
 	pause := ttsp + extra + fp
 	after := j.heap.HeapUsed()
 	if j.rec != nil {
-		j.rec.Add("gc.collections.full", 1)
+		j.ctr.collFull.Add(1)
 		var segs []pauseSegment
 		if extra > 0 {
 			segs = append(segs, pauseSegment{label: "aborted-minor", d: extra})
@@ -291,10 +291,7 @@ func (j *JVM) maybeStartCycle() {
 		}
 		j.phase = cycleInitialMarkPending
 		// CMS schedules its own initial-mark pause promptly.
-		j.cycleEvent = j.clock.Schedule(simtime.Time(max64(int64(j.clock.Now()), int64(j.resumeAt))), func() {
-			j.cycleEvent = nil
-			j.cmsInitialMark()
-		})
+		j.cycleEvent = j.clock.Schedule(simtime.Time(max64(int64(j.clock.Now()), int64(j.resumeAt))), &j.hCMSIM)
 	case gcmodel.G1Style:
 		occ := float64(j.heap.HeapUsed()) / float64(j.heap.Geometry().Heap)
 		if occ < spec.InitiatingOccupancy {
@@ -323,7 +320,7 @@ func (j *JVM) cmsInitialMark() {
 	im := j.col.InitialMarkPause(s)
 	pause := ttsp + im
 	if j.rec != nil {
-		j.rec.Add("gc.collections.initial_mark", 1)
+		j.ctr.collInitialMark.Add(1)
 		j.tracePause(gclog.PauseInitialMark, gclog.CauseOccupancyThreshold, now,
 			pause, ttsp, j.heap.HeapUsed(), j.heap.HeapUsed(), 0, s,
 			[]pauseSegment{{kind: gcmodel.PauseInitialMark, d: im}})
@@ -352,14 +349,29 @@ func (j *JVM) startMarking() {
 		HeapBefore: j.heap.HeapUsed(), HeapAfter: j.heap.HeapUsed(),
 	})
 	if j.rec != nil {
-		j.rec.Add("gc.concurrent.cycles", 1)
+		j.ctr.concCycles.Add(1)
 		j.traceConcurrent(gclog.ConcurrentMark, gclog.CauseOccupancyThreshold,
 			now, d, j.heap.HeapUsed(), j.heap.HeapUsed())
 	}
-	j.cycleEvent = j.clock.Schedule(start.Add(d), func() {
-		j.cycleEvent = nil
-		j.remark()
-	})
+	j.cycleEvent = j.clock.Schedule(start.Add(d), &j.hMark)
+}
+
+// onCMSInitialMarkDue, onMarkingDone and onSweepDone are the pre-bound
+// concurrent-cycle handlers. Each drops the cycle-event registration
+// first: the kernel recycles fired events, so the handle is dead.
+func (j *JVM) onCMSInitialMarkDue() {
+	j.cycleEvent = nil
+	j.cmsInitialMark()
+}
+
+func (j *JVM) onMarkingDone() {
+	j.cycleEvent = nil
+	j.remark()
+}
+
+func (j *JVM) onSweepDone() {
+	j.cycleEvent = nil
+	j.cmsSweepDone(j.sweepGarbage, j.sweepFragFrac)
 }
 
 // remark runs the remark pause and transitions to sweeping (CMS) or mixed
@@ -377,7 +389,7 @@ func (j *JVM) remark() {
 	rp := j.col.RemarkPause(s)
 	pause := ttsp + rp
 	if j.rec != nil {
-		j.rec.Add("gc.collections.remark", 1)
+		j.ctr.collRemark.Add(1)
 		j.tracePause(gclog.PauseRemark, gclog.CauseOccupancyThreshold, now,
 			pause, ttsp, j.heap.HeapUsed(), j.heap.HeapUsed(), 0, s,
 			[]pauseSegment{{kind: gcmodel.PauseRemark, d: rp}})
@@ -405,10 +417,9 @@ func (j *JVM) remark() {
 				j.clock.Now(), pause+d, j.heap.HeapUsed(), 0)
 		}
 		end := j.resumeAt.Add(d)
-		j.cycleEvent = j.clock.Schedule(end, func() {
-			j.cycleEvent = nil
-			j.cmsSweepDone(garbage, spec.FragmentFrac)
-		})
+		j.sweepGarbage = garbage
+		j.sweepFragFrac = spec.FragmentFrac
+		j.cycleEvent = j.clock.Schedule(end, &j.hSweep)
 	case gcmodel.G1Style:
 		garbage := j.heap.OldUsed() - liveOld
 		if garbage < 0 {

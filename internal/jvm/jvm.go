@@ -163,6 +163,97 @@ type JVM struct {
 
 	// rec receives flight-recorder telemetry; nil when disabled.
 	rec *telemetry.Recorder
+	ctr jvmCounters
+
+	// speedBase folds the run-invariant factors of the mutator speed
+	// multiplier (write-barrier tax, allocation-path tax); it changes only
+	// when the allocation rate does. speed() multiplies in the per-instant
+	// core-stealing factor.
+	speedBase float64
+
+	// Pre-bound event handlers, embedded by value so converting their
+	// addresses to event.Handler never allocates: steady-state scheduling
+	// is closure-free.
+	hEden   edenHandler
+	hCMSIM  cmsInitialMarkHandler
+	hMark   markDoneHandler
+	hSweep  sweepDoneHandler
+	hMarker progressMarkerHandler
+	hSample sampleHandler
+
+	// Parameters of the pending hSweep invocation (set when the sweep is
+	// scheduled; a full collection cancelling the cycle leaves them stale,
+	// which is harmless because the handler never runs then).
+	sweepGarbage  machine.Bytes
+	sweepFragFrac float64
+}
+
+// The per-purpose handler types below give each pre-bound event action a
+// distinct Fire method on a one-word struct embedded in the JVM, so the
+// kernel can dispatch without the simulator allocating method-value
+// closures at construction.
+
+type edenHandler struct{ j *JVM }
+
+func (h *edenHandler) Fire() { h.j.onEdenExhausted() }
+
+type cmsInitialMarkHandler struct{ j *JVM }
+
+func (h *cmsInitialMarkHandler) Fire() { h.j.onCMSInitialMarkDue() }
+
+type markDoneHandler struct{ j *JVM }
+
+func (h *markDoneHandler) Fire() { h.j.onMarkingDone() }
+
+type sweepDoneHandler struct{ j *JVM }
+
+func (h *sweepDoneHandler) Fire() { h.j.onSweepDone() }
+
+type progressMarkerHandler struct{ j *JVM }
+
+func (h *progressMarkerHandler) Fire() { h.j.onProgressMarker() }
+
+type sampleHandler struct{ j *JVM }
+
+func (h *sampleHandler) Fire() { h.j.onSampleDue() }
+
+// jvmCounters holds the flight-recorder counter handles the simulator
+// increments on its hot paths. All handles are nil (no-op) when no
+// recorder is attached.
+type jvmCounters struct {
+	safepoints      *telemetry.CounterHandle
+	humongousAllocs *telemetry.CounterHandle
+	humongousBytes  *telemetry.CounterHandle
+	failPromotion   *telemetry.CounterHandle
+	failEvacuation  *telemetry.CounterHandle
+	failConcMode    *telemetry.CounterHandle
+	collYoung       *telemetry.CounterHandle
+	collMixed       *telemetry.CounterHandle
+	collInitialMark *telemetry.CounterHandle
+	collFull        *telemetry.CounterHandle
+	collRemark      *telemetry.CounterHandle
+	promotedBytes   *telemetry.CounterHandle
+	oomEvents       *telemetry.CounterHandle
+	concCycles      *telemetry.CounterHandle
+}
+
+func newJVMCounters(r *telemetry.Recorder) jvmCounters {
+	return jvmCounters{
+		safepoints:      r.CounterHandle("safepoint.count"),
+		humongousAllocs: r.CounterHandle("gc.humongous.allocations"),
+		humongousBytes:  r.CounterHandle("gc.humongous.bytes"),
+		failPromotion:   r.CounterHandle("gc.failures.promotion"),
+		failEvacuation:  r.CounterHandle("gc.failures.evacuation"),
+		failConcMode:    r.CounterHandle("gc.failures.concurrent_mode"),
+		collYoung:       r.CounterHandle("gc.collections.young"),
+		collMixed:       r.CounterHandle("gc.collections.mixed"),
+		collInitialMark: r.CounterHandle("gc.collections.initial_mark"),
+		collFull:        r.CounterHandle("gc.collections.full"),
+		collRemark:      r.CounterHandle("gc.collections.remark"),
+		promotedBytes:   r.CounterHandle("gc.promoted_bytes"),
+		oomEvents:       r.CounterHandle("oom.events"),
+		concCycles:      r.CounterHandle("gc.concurrent.cycles"),
+	}
 }
 
 // New constructs a JVM running the given workload. It panics on invalid
@@ -192,7 +283,15 @@ func New(cfg Config, w Workload) *JVM {
 		log:     gclog.New(),
 		rng:     xrand.New(cfg.Seed),
 		rec:     cfg.Recorder,
+		ctr:     newJVMCounters(cfg.Recorder),
 	}
+	j.hEden.j = j
+	j.hCMSIM.j = j
+	j.hMark.j = j
+	j.hSweep.j = j
+	j.hMarker.j = j
+	j.hSample.j = j
+	j.recomputeSpeedBase()
 
 	geo := cfg.Geometry
 	if _, ok := cfg.Collector.(gcmodel.PauseTargeted); ok && !cfg.YoungExplicit {
@@ -241,7 +340,7 @@ func (j *JVM) SafepointDistribution() *safepoint.Stats { return &j.sp }
 func (j *JVM) recordTTSP(d simtime.Duration) simtime.Duration {
 	j.sp.Record(d)
 	if j.rec != nil {
-		j.rec.Add("safepoint.count", 1)
+		j.ctr.safepoints.Add(1)
 	}
 	return d
 }
@@ -253,8 +352,11 @@ func (j *JVM) OutOfMemory() (at simtime.Time, short machine.Bytes, oom bool) {
 	return j.oomAt, j.oomBytes, j.oomBytes > 0
 }
 
-// speed returns the current mutator progress multiplier in (0, 1].
-func (j *JVM) speed() float64 {
+// recomputeSpeedBase refreshes the run-invariant speed factors. It must
+// be called whenever the allocation rate changes; the arithmetic mirrors
+// the original inline computation step for step so results stay
+// bit-identical.
+func (j *JVM) recomputeSpeedBase() {
 	s := 1.0 / j.col.BarrierFactor()
 
 	// Allocation-path tax relative to the TLAB fast path.
@@ -263,6 +365,12 @@ func (j *JVM) speed() float64 {
 	if extra > 0 {
 		s /= 1 + extra/float64(j.w.Threads)
 	}
+	j.speedBase = s
+}
+
+// speed returns the current mutator progress multiplier in (0, 1].
+func (j *JVM) speed() float64 {
+	s := j.speedBase
 
 	// Concurrent GC threads and background application work steal cores
 	// from the mutators.
@@ -325,8 +433,8 @@ func (j *JVM) advance(t simtime.Time) {
 		bytes -= hum
 		j.tracker.AllocateOld(t, j.heap.AddOld(hum))
 		if j.rec != nil && hum > 0 {
-			j.rec.Add("gc.humongous.allocations", 1)
-			j.rec.Add("gc.humongous.bytes", int64(hum))
+			j.ctr.humongousAllocs.Add(1)
+			j.ctr.humongousBytes.Add(int64(hum))
 		}
 	}
 	accepted := j.heap.AllocateEden(bytes)
@@ -360,11 +468,19 @@ func (j *JVM) scheduleEden() {
 	if at < j.resumeAt {
 		at = j.resumeAt
 	}
-	j.edenEvent = j.clock.Schedule(at, func() {
-		j.edenEvent = nil
-		j.minorGC(gclog.CauseAllocationFailure)
-	})
+	j.edenEvent = j.clock.Schedule(at, &j.hEden)
 }
+
+// onEdenExhausted is the pre-bound eden-exhaustion handler. It drops the
+// event registration before collecting (the kernel recycles the fired
+// event, so the handle is dead).
+func (j *JVM) onEdenExhausted() {
+	j.edenEvent = nil
+	j.minorGC(gclog.CauseAllocationFailure)
+}
+
+// onProgressMarker is the pre-bound RunUntilProgress marker handler.
+func (j *JVM) onProgressMarker() { j.advance(j.clock.Now()) }
 
 // SetAllocRate changes the workload's allocation rate mid-run (drivers
 // use this for phase changes).
@@ -374,6 +490,7 @@ func (j *JVM) SetAllocRate(rate float64) {
 	}
 	j.advance(j.clock.Now())
 	j.w.AllocRate = rate
+	j.recomputeSpeedBase()
 	j.scheduleEden()
 }
 

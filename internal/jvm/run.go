@@ -36,9 +36,7 @@ func (j *JVM) RunUntilProgress(work float64) simtime.Duration {
 		}
 		sp := j.speed()
 		at := from.Add(simtime.Seconds((target - j.progress) / sp))
-		marker := j.clock.Schedule(at, func() {
-			j.advance(j.clock.Now())
-		})
+		marker := j.clock.Schedule(at, &j.hMarker)
 		// Step until the marker fires; earlier GC events may change speed,
 		// in which case the loop re-estimates.
 		for !marker.Cancelled() {

@@ -26,10 +26,13 @@ func (j *JVM) scheduleSampler() {
 	if iv <= 0 {
 		return
 	}
-	j.clock.Schedule(j.clock.Now().Add(iv), func() {
-		j.sampleNow()
-		j.scheduleSampler()
-	})
+	j.clock.Schedule(j.clock.Now().Add(iv), &j.hSample)
+}
+
+// onSampleDue is the pre-bound self-rescheduling sampler handler.
+func (j *JVM) onSampleDue() {
+	j.sampleNow()
+	j.scheduleSampler()
 }
 
 // sampleNow records one time-series point. Heap occupancy includes an

@@ -17,6 +17,9 @@ type Stats struct {
 
 // Record folds one safepoint's TTSP into the distribution.
 func (s *Stats) Record(d simtime.Duration) {
+	if s.samples == nil {
+		s.samples = make([]float64, 0, 32)
+	}
 	s.samples = append(s.samples, d.Seconds())
 	s.total += d
 	if d > s.max {

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterHandleAdds(t *testing.T) {
+	r := New(Config{})
+	h := r.CounterHandle("gc.collections.young")
+	h.Add(1)
+	h.Add(2)
+	if got := r.Counter("gc.collections.young"); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	// The string API and the handle hit the same slot.
+	r.Add("gc.collections.young", 4)
+	h.Add(1)
+	if got := r.Counter("gc.collections.young"); got != 8 {
+		t.Errorf("counter = %d, want 8", got)
+	}
+}
+
+func TestCounterHandleNilRecorder(t *testing.T) {
+	var r *Recorder
+	h := r.CounterHandle("anything")
+	if h != nil {
+		t.Fatal("nil recorder returned non-nil handle")
+	}
+	h.Add(5) // must not panic
+	if h.Name() != "" {
+		t.Errorf("nil handle name = %q", h.Name())
+	}
+}
+
+// TestCounterHandlePreservesFirstTouchOrder pins the export contract:
+// registering handles must not surface counters before their first
+// increment, so exporters see the same first-touch ordering with or
+// without handles.
+func TestCounterHandlePreservesFirstTouchOrder(t *testing.T) {
+	r := New(Config{})
+	a := r.CounterHandle("a")
+	b := r.CounterHandle("b")
+	c := r.CounterHandle("c")
+	if n := len(r.Counters()); n != 0 {
+		t.Fatalf("registration surfaced %d counters, want 0", n)
+	}
+	b.Add(1)
+	r.Add("z", 1)
+	a.Add(1)
+	_ = c // registered, never touched: must stay invisible
+	names := []string{}
+	for _, ctr := range r.Counters() {
+		names = append(names, ctr.Name)
+	}
+	want := []string{"b", "z", "a"}
+	if len(names) != len(want) {
+		t.Fatalf("counters = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("counters = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestCounterHandleConcurrent(t *testing.T) {
+	r := New(Config{})
+	h := r.CounterHandle("shared")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared"); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+func BenchmarkCounterAddByName(b *testing.B) {
+	r := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add("gc.collections.young", 1)
+	}
+}
+
+func BenchmarkCounterAddByHandle(b *testing.B) {
+	r := New(Config{})
+	h := r.CounterHandle("gc.collections.young")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(1)
+	}
+}

@@ -214,13 +214,69 @@ func (r *Recorder) Add(name string, delta int64) {
 		return
 	}
 	r.mu.Lock()
+	r.counters[r.counterSlot(name)].Value += delta
+	r.mu.Unlock()
+}
+
+// counterSlot resolves (creating if needed) the slice index of the named
+// counter. Callers must hold r.mu.
+func (r *Recorder) counterSlot(name string) int {
 	i, ok := r.counterIdx[name]
 	if !ok {
 		i = len(r.counters)
 		r.counters = append(r.counters, Counter{Name: name})
 		r.counterIdx[name] = i
 	}
-	r.counters[i].Value += delta
+	return i
+}
+
+// CounterHandle is a pre-registered reference to one counter. Hot paths
+// that increment the same counter many times register a handle once and
+// increment through it: after the first Add the handle carries the
+// counter's slice index, so every subsequent increment is an indexed add
+// under the mutex instead of a map lookup per call.
+//
+// Index resolution is deferred to the first Add (not registration) so that
+// counters still appear in exporters in first-touch order and untouched
+// counters stay invisible — byte-identical exports with or without
+// handles. A handle obtained from a nil Recorder is nil, and Add on a nil
+// handle is a no-op, mirroring the nil-Recorder contract.
+type CounterHandle struct {
+	r        *Recorder
+	name     string
+	idx      int
+	resolved bool
+}
+
+// CounterHandle registers a handle for the named counter (nil on a nil
+// recorder).
+func (r *Recorder) CounterHandle(name string) *CounterHandle {
+	if r == nil {
+		return nil
+	}
+	return &CounterHandle{r: r, name: name, idx: -1}
+}
+
+// Name returns the counter name the handle is bound to (empty on nil).
+func (h *CounterHandle) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Add increments the handle's counter by delta (no-op on nil).
+func (h *CounterHandle) Add(delta int64) {
+	if h == nil {
+		return
+	}
+	r := h.r
+	r.mu.Lock()
+	if !h.resolved {
+		h.idx = r.counterSlot(h.name)
+		h.resolved = true
+	}
+	r.counters[h.idx].Value += delta
 	r.mu.Unlock()
 }
 

@@ -1,6 +1,9 @@
 package xrand
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Zipf draws integers in [0, n) with a zipfian distribution of the given
 // theta (YCSB's default key-chooser uses theta = 0.99). It implements the
@@ -28,10 +31,46 @@ func NewZipf(r *Rand, n uint64, theta float64) *Zipf {
 	}
 	z := &Zipf{r: r, n: n, theta: theta}
 	z.alpha = 1 / (1 - theta)
-	z.zetan = zetaStatic(n, theta)
-	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
 	return z
+}
+
+// zetaKey identifies one memoized zeta table entry.
+type zetaKey struct {
+	n     uint64
+	theta float64
+}
+
+// zetaCache memoizes zetaStatic results. Workload sweeps construct many
+// generators over the same (n, theta) — YCSB's default keyspace is 10M keys
+// at theta 0.99 — and the exact prefix sum below walks 2^20 Pow calls each
+// time; caching turns every construction after the first into a map hit.
+var zetaCache struct {
+	sync.Mutex
+	m map[zetaKey]float64
+}
+
+// zeta returns the memoized generalized harmonic number for (n, theta).
+func zeta(n uint64, theta float64) float64 {
+	k := zetaKey{n, theta}
+	zetaCache.Lock()
+	v, ok := zetaCache.m[k]
+	if !ok {
+		zetaCache.Unlock()
+		// Compute outside the lock: a sweep's first construction can take
+		// milliseconds and must not serialize concurrent runners. A racing
+		// duplicate computation returns the identical float64.
+		v = zetaStatic(n, theta)
+		zetaCache.Lock()
+		if zetaCache.m == nil {
+			zetaCache.m = make(map[zetaKey]float64)
+		}
+		zetaCache.m[k] = v
+	}
+	zetaCache.Unlock()
+	return v
 }
 
 // zetaStatic computes the generalized harmonic number sum_{i=1..n} 1/i^theta.

@@ -108,6 +108,28 @@ func TestZetaStaticApproximation(t *testing.T) {
 	}
 }
 
+func TestZetaCacheHitMatchesCold(t *testing.T) {
+	// The memoized path must return the exact float64 the direct
+	// computation produces, for both exact-sum and approximated sizes.
+	for _, c := range []struct {
+		n     uint64
+		theta float64
+	}{
+		{1000, 0.99},
+		{2, 0.99},
+		{1 << 21, 0.75},
+	} {
+		want := zetaStatic(c.n, c.theta)
+		if got := zeta(c.n, c.theta); got != want {
+			t.Errorf("zeta(%d,%v) = %v, want %v", c.n, c.theta, got, want)
+		}
+		// Second call is the cached path.
+		if got := zeta(c.n, c.theta); got != want {
+			t.Errorf("cached zeta(%d,%v) = %v, want %v", c.n, c.theta, got, want)
+		}
+	}
+}
+
 func TestZipfPanics(t *testing.T) {
 	cases := []struct {
 		n     uint64
@@ -140,6 +162,27 @@ func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = r.Uint64()
+	}
+}
+
+// BenchmarkNewZipf measures generator construction with the zeta cache
+// warm — the steady-state cost a workload sweep pays per run. Compare
+// BenchmarkZetaStatic (one cold table build) to see what memoization saves.
+func BenchmarkNewZipf(b *testing.B) {
+	r := New(1)
+	zeta(10_000_000, 0.99) // warm the cache like a sweep's first run does
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewZipf(r, 10_000_000, 0.99)
+	}
+}
+
+// BenchmarkZetaStatic is the uncached table build NewZipf used to pay on
+// every construction (2^20 Pow calls at the YCSB default keyspace).
+func BenchmarkZetaStatic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = zetaStatic(10_000_000, 0.99)
 	}
 }
 

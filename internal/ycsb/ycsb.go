@@ -144,6 +144,15 @@ func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
 	horizon := server.TotalDuration.Seconds()
 	var tr Trace
 	tr.Pauses = pauses
+	if horizon > cfg.StartAfter && cfg.OpsPerSec > 0 {
+		// Size the op log for the expected arrival count up front; the
+		// Poisson spread around the mean is a few percent at these volumes.
+		expect := int((horizon - cfg.StartAfter) * cfg.OpsPerSec)
+		tr.Ops = make([]Op, 0, expect+expect/16+16)
+	}
+	ctrRead := cfg.Recorder.CounterHandle("ycsb.ops.read")
+	ctrUpdate := cfg.Recorder.CounterHandle("ycsb.ops.update")
+	ctrShadowed := cfg.Recorder.CounterHandle("ycsb.ops.shadowed")
 	pi := 0
 	t := cfg.StartAfter
 	for {
@@ -179,12 +188,12 @@ func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
 		tr.Ops = append(tr.Ops, op)
 		if cfg.Recorder != nil {
 			if op.Type == Read {
-				cfg.Recorder.Add("ycsb.ops.read", 1)
+				ctrRead.Add(1)
 			} else {
-				cfg.Recorder.Add("ycsb.ops.update", 1)
+				ctrUpdate.Add(1)
 			}
 			if op.Shadowed {
-				cfg.Recorder.Add("ycsb.ops.shadowed", 1)
+				ctrShadowed.Add(1)
 				cfg.Recorder.Span(telemetry.TrackClient, op.Type.String(),
 					simtime.Time(simtime.Seconds(t)),
 					simtime.Seconds(op.LatencyMS/1e3), 0,
