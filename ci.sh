@@ -18,6 +18,11 @@ go vet ./...
 go vet ./internal/labd/... ./internal/faultinject/...
 go test -race ./...
 go test -race -count=1 -run 'TestChaosCampaignConvergence|TestWarmRestartAndCorruptionRecovery' ./internal/labd/
+# The work-stealing runner and pool are the one place the laboratory
+# shares mutable state across goroutines; exercise them under the race
+# detector explicitly (and not in -short mode, which skips the
+# imbalance speedup gate).
+go test -race -count=1 ./internal/sweep/
 go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint' -benchtime=1x ./...
 
 # bench-gate: re-measure the kernel-bound artifact benchmarks (without
@@ -28,5 +33,7 @@ go build -o /tmp/benchdiff ./cmd/benchdiff
   go test -run=NONE -bench 'BenchmarkSimulatedHour' -benchmem -benchtime=10x -count=2 ./internal/jvm/
   go test -run=NONE -bench 'BenchmarkColdRun|BenchmarkCacheHit' -benchmem -count=2 ./internal/labd/
   go test -run=NONE -bench 'BenchmarkScheduleFire|BenchmarkScheduleCancel' -benchmem -count=2 ./internal/event/
+  go test -run=NONE -bench 'BenchmarkHDRRecord|BenchmarkHDRQuantile' -benchmem -count=2 ./internal/hdrhist/
+  go test -run=NONE -bench 'BenchmarkSweepImbalance|BenchmarkFIFOImbalance' -benchmem -count=2 ./internal/sweep/
 } > /tmp/bench_current.txt
 /tmp/benchdiff -in /tmp/bench_current.txt -out /tmp/BENCH_current.json -baseline BENCH_baseline.json

@@ -1,53 +1,13 @@
 package advisor
 
-import (
-	"runtime"
-	"sync"
-)
+import "jvmgc/internal/sweep"
 
-// forEach runs fn(i) for i in [0, n) on a worker pool of the given width
-// (0 selects GOMAXPROCS) and returns the first error in index order.
-// Mirrors internal/core's runner: candidates are independent, results
-// land by index, and error selection ignores completion order.
+// forEach runs fn(i) for i in [0, n) on the deterministic work-stealing
+// runner (internal/sweep) with the given width (0 selects GOMAXPROCS)
+// and returns the first error in index order. Mirrors internal/core's
+// runner: candidates are independent, results land by index, and error
+// selection ignores completion order, so advisor reports are
+// byte-identical at any parallelism.
 func forEach(workers, n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return sweep.Run(sweep.Options{Workers: workers}, n, fn)
 }

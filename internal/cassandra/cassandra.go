@@ -21,6 +21,7 @@ import (
 	"jvmgc/internal/demography"
 	"jvmgc/internal/gclog"
 	"jvmgc/internal/gcmodel"
+	"jvmgc/internal/hdrhist"
 	"jvmgc/internal/heapmodel"
 	"jvmgc/internal/jvm"
 	"jvmgc/internal/machine"
@@ -105,6 +106,11 @@ type Config struct {
 	// (commitlog replay, memtable flushes, compactions) on the cassandra
 	// track. Nil disables all telemetry at zero cost.
 	Recorder *telemetry.Recorder
+
+	// StreamingStats selects bounded-memory statistics inside the server
+	// JVM (safepoint pauses fold into a histogram instead of a retained
+	// sample slice). The simulation itself is unaffected.
+	StreamingStats bool
 
 	Seed uint64
 }
@@ -226,6 +232,10 @@ type Result struct {
 	// OpsCompleted estimates the operations served during the client
 	// phase (reduced by stop-the-world time).
 	OpsCompleted int64
+	// PauseHist is the server JVM's streaming stop-the-world pause
+	// distribution (seconds): every pause is recorded as it happens, so
+	// consumers get percentiles without re-walking the GC log.
+	PauseHist *hdrhist.Hist
 }
 
 // Run simulates the node: optional commitlog replay, then Duration of
@@ -285,9 +295,10 @@ func Run(cfg Config) (Result, error) {
 		// The paper pins -Xmn for the throughput collectors; G1 keeps its
 		// pause-target-driven sizing (fixing G1's young disables its pause
 		// goal, which no deployment does).
-		YoungExplicit: col.Name() != "G1",
-		Recorder:      cfg.Recorder,
-		Seed:          rng.Uint64(),
+		YoungExplicit:  col.Name() != "G1",
+		Recorder:       cfg.Recorder,
+		StreamingStats: cfg.StreamingStats,
+		Seed:           rng.Uint64(),
 	}, w)
 
 	// Commitlog replay: apply the preloaded data at replay speed. Replay
@@ -412,6 +423,7 @@ func Run(cfg Config) (Result, error) {
 	res.TotalDuration = j.Now().Sub(0)
 	res.Log = j.Log()
 	res.FinalOldLive = j.OldLive()
+	res.PauseHist = j.PauseDistribution()
 	if cfg.Recorder != nil {
 		cfg.Recorder.Add("cassandra.ops_completed", res.OpsCompleted)
 	}

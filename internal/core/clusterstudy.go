@@ -23,7 +23,8 @@ func (l *Lab) ClusterStudyAll() (ClusterStudy, error) {
 	var out ClusterStudy
 	collectors := append(append([]string(nil), MainGCNames()...), "HTM")
 	results := make([]cluster.Result, len(collectors))
-	err := l.forEach(len(collectors), func(i int) error {
+	cost := func(i int) float64 { return collectorCost(collectors[i]) }
+	err := l.forEachCost(len(collectors), cost, func(i int) error {
 		node := cassandra.StressConfig(collectors[i], simtime.Seconds(l.ClientDuration))
 		node.Machine = l.Machine
 		res, err := cluster.Run(cluster.Config{

@@ -34,9 +34,18 @@ type Lab struct {
 	// ClientDuration is the client-server experiment length
 	// (paper: 2 h).
 	ClientDuration float64 // seconds
-	// Parallelism bounds the worker pool fanning independent experiment
-	// runs across cores; 0 selects GOMAXPROCS.
+	// Parallelism bounds the work-stealing runner fanning independent
+	// experiment runs across cores; 0 selects GOMAXPROCS. Results are
+	// byte-identical at any setting.
 	Parallelism int
+	// StreamingStats selects bounded-memory statistics for the
+	// client-server study: per-op latencies fold into log-bucketed
+	// histograms (internal/hdrhist) as they are generated instead of
+	// being retained, and only a fixed top-latency reservoir backs the
+	// Figure 5 plots. Exact mode (false, the default) retains every
+	// sample and reproduces the pinned seed-42 digest; streaming mode
+	// agrees within histogram resolution (≤1% on quantiles).
+	StreamingStats bool
 	// Recorder, when non-nil, receives core-track progress spans for the
 	// experiment runners (one span per sweep case or stability benchmark,
 	// tiled sequentially by simulated duration). Individual simulations

@@ -1,55 +1,41 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-)
+import "jvmgc/internal/sweep"
 
-// forEach runs fn(i) for i in [0, n) on a bounded worker pool and returns
-// the first error in index order. Each experiment in this laboratory is
-// an independent simulation with its own seed, so fanning them out is
-// deterministic: results land in caller-owned slices by index, and error
-// selection ignores completion order.
+// forEach runs fn(i) for i in [0, n) on the deterministic work-stealing
+// runner (internal/sweep) and returns the first error in index order.
+// Each experiment in this laboratory is an independent simulation with
+// its own seed, so fanning them out is deterministic: results land in
+// caller-owned slices by index, and error selection ignores completion
+// order — rendered output is byte-identical at any Parallelism.
 func (l *Lab) forEach(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
+	return l.forEachCost(n, nil, fn)
+}
+
+// forEachCost is forEach with a per-task expected-cost estimate: tasks
+// are dealt longest-expected-first (the LPT heuristic), so the sweep's
+// straggler starts first instead of landing last on a busy worker. The
+// estimate shapes only the schedule, never the results.
+func (l *Lab) forEachCost(n int, cost func(i int) float64, fn func(i int) error) error {
+	return sweep.Run(sweep.Options{
+		Workers: l.Parallelism,
+		Seed:    l.Seed,
+		Cost:    cost,
+	}, n, fn)
+}
+
+// collectorCost estimates a collector's relative simulation cost for
+// longest-expected-first scheduling. The concurrent collectors simulate
+// more events per heap cycle (concurrent phases, remembered-set work)
+// than the stop-the-world ones; the exact ratios do not matter, only
+// that the expensive runs are dealt first.
+func collectorCost(gc string) float64 {
+	switch gc {
+	case "G1":
+		return 1.6
+	case "CMS":
+		return 1.4
+	default:
+		return 1.0
 	}
-	workers := l.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStreamingStudyMatchesExact runs the §4.2 client study in both
+// statistics modes. The generator replays the identical operation
+// sequence, so the exact scalars (counts, averages, extremes, %GCs)
+// must match bit-for-bit; the histogram-backed request percentages may
+// differ only within bucket resolution.
+func TestStreamingStudyMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("client study in -short mode")
+	}
+	exactLab := QuickLab(11)
+	streamLab := QuickLab(11)
+	streamLab.StreamingStats = true
+
+	exact, err := exactLab.ClientLatencyStudy("ParallelOld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := streamLab.ClientLatencyStudy("ParallelOld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stream.Streaming || exact.Streaming {
+		t.Fatalf("mode flags wrong: exact %v, stream %v", exact.Streaming, stream.Streaming)
+	}
+
+	check := func(name string, e, s float64, tol float64) {
+		t.Helper()
+		if math.Abs(e-s) > tol {
+			t.Errorf("%s: exact %v, stream %v", name, e, s)
+		}
+	}
+
+	eR, sR := exact.Read, stream.Read
+	eU, sU := exact.Update, stream.Update
+	for _, c := range []struct {
+		name string
+		e, s float64
+		tol  float64
+	}{
+		{"read N", float64(eR.N), float64(sR.N), 0},
+		{"read avg", eR.AvgMS, sR.AvgMS, 0},
+		{"read min", eR.MinMS, sR.MinMS, 0},
+		{"read max", eR.MaxMS, sR.MaxMS, 0},
+		{"read normal GCs%", eR.Normal.GCs, sR.Normal.GCs, 0},
+		{"read normal reqs%", eR.Normal.Reqs, sR.Normal.Reqs, 0.5},
+		{"update N", float64(eU.N), float64(sU.N), 0},
+		{"update avg", eU.AvgMS, sU.AvgMS, 0},
+		{"update min", eU.MinMS, sU.MinMS, 0},
+		{"update max", eU.MaxMS, sU.MaxMS, 0},
+		{"update normal GCs%", eU.Normal.GCs, sU.Normal.GCs, 0},
+		{"update normal reqs%", eU.Normal.Reqs, sU.Normal.Reqs, 0.5},
+	} {
+		check(c.name, c.e, c.s, c.tol)
+	}
+	for i := range eR.Above {
+		if i >= len(sR.Above) {
+			t.Errorf("stream missing read band %s", eR.Above[i].Label)
+			continue
+		}
+		check("read band "+eR.Above[i].Label+" GCs%", eR.Above[i].GCs, sR.Above[i].GCs, 0)
+		check("read band "+eR.Above[i].Label+" reqs%", eR.Above[i].Reqs, sR.Above[i].Reqs, 0.5)
+	}
+
+	// Figure 5 renders from the reservoir in streaming mode and covers
+	// the same pause series.
+	if len(exact.Pauses()) != len(stream.Pauses()) {
+		t.Errorf("pause counts differ: exact %d, stream %d",
+			len(exact.Pauses()), len(stream.Pauses()))
+	}
+	eTop, sTop := exact.TopPoints(100), stream.TopPoints(100)
+	if len(eTop) != len(sTop) {
+		t.Fatalf("top point counts differ: exact %d, stream %d", len(eTop), len(sTop))
+	}
+	eMass, sMass := 0.0, 0.0
+	for i := range eTop {
+		eMass += eTop[i].LatencyMS
+		sMass += sTop[i].LatencyMS
+	}
+	if math.Abs(eMass-sMass) > 1e-6*eMass {
+		t.Errorf("top-100 latency mass differs: exact %v, stream %v", eMass, sMass)
+	}
+	if ep, sp := exact.PeaksCoincideWithGCs(100), stream.PeaksCoincideWithGCs(100); math.Abs(ep-sp) > 2 {
+		t.Errorf("peak/GC coincidence differs: exact %v%%, stream %v%%", ep, sp)
+	}
+
+	// The server's streaming pause histogram agrees with its GC log.
+	p, _ := stream.Server.Log.CountPauses()
+	if got := int(stream.Server.PauseHist.Count()); got != p {
+		t.Errorf("PauseHist count %d, log pauses %d", got, p)
+	}
+	if got, want := stream.Server.PauseHist.Max(), stream.Server.Log.MaxPause().Seconds(); got != want {
+		t.Errorf("PauseHist max %v, log max %v", got, want)
+	}
+}

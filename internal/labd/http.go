@@ -230,6 +230,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Summary("labd_job_latency_seconds",
 		"End-to-end job latency (enqueue to completion), including cache hits.",
 		latencies)
+	s.histMu.Lock()
+	snap.Histogram("labd_job_latency_hist_seconds",
+		"End-to-end job latency distribution (streaming histogram over the daemon's whole lifetime).",
+		s.latHist)
+	s.histMu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = snap.Write(w)

@@ -1,7 +1,7 @@
 // Package labd turns the GC laboratory into a long-running service: a
 // job daemon that accepts simulation requests over HTTP/JSON, schedules
-// them on a bounded worker pool with a FIFO queue and backpressure, and
-// memoizes results in a content-addressed cache.
+// them on a bounded work-stealing pool (internal/sweep) with
+// backpressure, and memoizes results in a content-addressed cache.
 //
 // Every experiment in this laboratory is deterministic in its spec
 // (collector, geometry, workload, seed), which the daemon exploits
@@ -36,7 +36,9 @@ import (
 	"time"
 
 	"jvmgc/internal/faultinject"
+	"jvmgc/internal/hdrhist"
 	"jvmgc/internal/simtime"
+	"jvmgc/internal/sweep"
 	"jvmgc/internal/telemetry"
 )
 
@@ -45,7 +47,7 @@ type Config struct {
 	// Workers is the number of concurrent job executors
 	// (default GOMAXPROCS).
 	Workers int
-	// QueueDepth bounds the FIFO backlog; a full queue rejects
+	// QueueDepth bounds the queued backlog; a full queue rejects
 	// submissions with ErrQueueFull (HTTP 429). Default 64.
 	QueueDepth int
 	// CacheEntries bounds the result cache (LRU eviction). Default 256.
@@ -97,7 +99,8 @@ func (c Config) withDefaults() Config {
 
 // Submission errors surfaced to the HTTP layer.
 var (
-	// ErrQueueFull reports backpressure: the FIFO backlog is at capacity.
+	// ErrQueueFull reports backpressure: the queued backlog is at
+	// capacity.
 	ErrQueueFull = errors.New("labd: job queue full")
 	// ErrDraining reports a daemon that has stopped accepting work.
 	ErrDraining = errors.New("labd: draining, not accepting jobs")
@@ -197,7 +200,10 @@ type Server struct {
 	rec   *telemetry.Recorder
 	cache *resultCache
 	chaos *faultinject.Injector
-	queue chan *Job
+	// pool executes leader jobs: a bounded work-stealing pool whose
+	// owners drain in FIFO order (jobs age out in arrival order) while
+	// idle workers steal queued bursts from busy peers.
+	pool *sweep.Pool
 
 	// runSpec is the execution function; tests substitute it to model
 	// slow or failing jobs without running simulations. The context
@@ -205,8 +211,13 @@ type Server struct {
 	runSpec func(ctx context.Context, spec JobSpec, parallelism int) (*JobResult, error)
 
 	started time.Time
-	workers sync.WaitGroup
 	running atomic.Int64
+
+	// latHist streams every finished job's end-to-end latency
+	// (seconds) into a bounded histogram for /metrics, independent of
+	// the span ring's retention.
+	histMu  sync.Mutex
+	latHist *hdrhist.Hist
 
 	mu       sync.Mutex
 	draining bool
@@ -228,29 +239,24 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:     cfg,
-		rec:     rec,
-		cache:   newResultCache(cfg.CacheEntries, disk),
-		chaos:   cfg.Chaos,
-		queue:   make(chan *Job, cfg.QueueDepth),
+		cfg:   cfg,
+		rec:   rec,
+		cache: newResultCache(cfg.CacheEntries, disk),
+		chaos: cfg.Chaos,
+		pool: sweep.NewPool(sweep.PoolOptions{
+			Workers:    cfg.Workers,
+			QueueLimit: cfg.QueueDepth,
+		}),
 		runSpec: runSpec,
 		started: time.Now(),
 		jobs:    make(map[string]*Job),
+		latHist: hdrhist.New(hdrhist.Config{}),
 	}
 	// Pre-register the resilience counters so /metrics exposes them at
 	// zero before (and whether or not) anything goes wrong.
 	s.rec.Add("labd.jobs.panicked", 0)
 	s.rec.Add("labd.cache.corruptions.detected", 0)
 	s.rec.Add("labd.http.injected.faults", 0)
-	for i := 0; i < cfg.Workers; i++ {
-		s.workers.Add(1)
-		go func() {
-			defer s.workers.Done()
-			for j := range s.queue {
-				s.runJob(j)
-			}
-		}()
-	}
 	return s, nil
 }
 
@@ -334,20 +340,25 @@ func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, er
 			}
 		}()
 	default:
-		// Leader: the queue send must happen under the submit lock so a
-		// concurrent Drain cannot close the channel in between.
+		// Leader: the pool submission must happen under the submit lock
+		// so a concurrent Drain cannot close the pool in between.
 		j.fl = fl
-		select {
-		case s.queue <- j:
+		switch err := s.pool.Submit(func() { s.runJob(j) }); err {
+		case nil:
 			s.mu.Unlock()
 			s.rec.Add("labd.cache.misses", 1)
 			go s.watchLeader(j)
 		default:
 			s.mu.Unlock()
+			if err == sweep.ErrPoolFull {
+				err = ErrQueueFull
+			} else {
+				err = ErrDraining
+			}
 			s.rec.Add("labd.jobs.rejected", 1)
-			s.cache.complete(j.Key, fl, nil, ErrQueueFull)
-			s.finish(j, nil, ErrQueueFull)
-			return nil, ErrQueueFull
+			s.cache.complete(j.Key, fl, nil, err)
+			s.finish(j, nil, err)
+			return nil, err
 		}
 	}
 	return j, nil
@@ -505,15 +516,20 @@ func (s *Server) finish(j *Job, bytes []byte, err error) {
 			s.rec.Add("labd.jobs.completed", 1)
 		}
 		// Job latency lands on the "labd" track; /metrics summarizes the
-		// span durations as jvmgc_labd_job_latency_seconds.
-		s.rec.Span("labd", kind, 0, simtime.FromStd(time.Since(j.enqueued)), 0)
+		// span durations as jvmgc_labd_job_latency_seconds and streams
+		// them into the bounded latency histogram.
+		elapsed := time.Since(j.enqueued)
+		s.rec.Span("labd", kind, 0, simtime.FromStd(elapsed), 0)
+		s.histMu.Lock()
+		s.latHist.Record(elapsed.Seconds())
+		s.histMu.Unlock()
 		j.cancel()
 		close(j.done)
 	})
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.
-func (s *Server) QueueDepth() int { return len(s.queue) }
+func (s *Server) QueueDepth() int { return s.pool.Pending() }
 
 // Running returns the number of jobs executing right now.
 func (s *Server) Running() int { return int(s.running.Load()) }
@@ -539,16 +555,13 @@ func (s *Server) Recorder() *telemetry.Recorder { return s.rec }
 // for the workers to observe that before returning ctx's error.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	already := s.draining
 	s.draining = true
-	if !already {
-		close(s.queue)
-	}
+	s.pool.Close()
 	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
-		s.workers.Wait()
+		s.pool.Wait()
 		close(done)
 	}()
 	select {

@@ -60,6 +60,14 @@ type BandReport struct {
 // within it — a GC invisible in the latency signal — which is how the
 // paper's tables arrive at 0.0% there while every exceedance band shows
 // ~100%.
+//
+// The pause/request correlation is one merged two-pointer sweep: with
+// samples sorted by completion and pauses by start, the first candidate
+// sample for each pause only moves forward, and each pause's scan stops
+// exactly at completion > pause end + max latency — past that bound no
+// sample's service interval can reach back into the pause. Band request
+// counts come from one sorted latency slice via binary search instead
+// of a full pass per band.
 func AnalyzeBands(samples []LatencySample, pauses []Interval, minReqPct float64) BandReport {
 	var rep BandReport
 	if len(samples) == 0 {
@@ -76,48 +84,64 @@ func AnalyzeBands(samples []LatencySample, pauses []Interval, minReqPct float64)
 	avg := rep.AvgMS
 	n := float64(len(samples))
 
-	// Sort samples by completion for the overlap sweep.
+	// Sort samples by completion for the overlap sweep, and latencies
+	// alone for the band membership counts.
 	byTime := append([]LatencySample(nil), samples...)
 	sort.Slice(byTime, func(i, j int) bool { return byTime[i].Completed < byTime[j].Completed })
+	lat := make([]float64, len(samples))
+	for i, s := range samples {
+		lat[i] = s.LatencyMS
+	}
+	sort.Float64s(lat)
 
 	// For each pause, find the worst overlapping latency and whether any
-	// overlapping request exists.
+	// overlapping request exists: pauses in start order share one
+	// monotone candidate pointer into the completion-sorted samples.
 	worst := make([]float64, len(pauses))
 	hasReq := make([]bool, len(pauses))
-	for pi, p := range pauses {
-		// Requests completing after the pause starts can overlap it;
-		// binary-search the first candidate.
-		i := sort.Search(len(byTime), func(k int) bool { return byTime[k].Completed > p.Start })
-		for ; i < len(byTime); i++ {
+	order := make([]int, len(pauses))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pauses[order[a]].Start < pauses[order[b]].Start })
+	maxSec := rep.MaxMS / 1e3
+	lo := 0
+	for _, pi := range order {
+		p := pauses[pi]
+		// Only requests completing after the pause starts can overlap it;
+		// later pauses start no earlier, so the pointer never backs up.
+		for lo < len(byTime) && byTime[lo].Completed <= p.Start {
+			lo++
+		}
+		for i := lo; i < len(byTime); i++ {
 			s := byTime[i]
+			// Past this completion bound even the longest request's
+			// service interval starts after the pause ends.
+			if s.Completed > p.End+maxSec {
+				break
+			}
 			if s.interval().Overlaps(p) {
 				hasReq[pi] = true
 				if s.LatencyMS > worst[pi] {
 					worst[pi] = s.LatencyMS
 				}
-				continue
-			}
-			// Once a request's whole interval starts after the pause
-			// ends, no later request can overlap (latencies vary, so scan
-			// a grace window before giving up).
-			if s.Completed-s.LatencyMS/1e3 > p.End && s.Completed > p.End+60 {
-				break
 			}
 		}
 	}
 	gcTotal := float64(len(pauses))
 
-	// Normal band: 0.5x–1.5x.
-	lo, hi := 0.5*avg, 1.5*avg
-	inNormal := 0
-	for _, s := range samples {
-		if s.LatencyMS >= lo && s.LatencyMS <= hi {
-			inNormal++
-		}
+	// countAbove returns how many latencies exceed thresh.
+	countAbove := func(thresh float64) int {
+		return len(lat) - sort.Search(len(lat), func(k int) bool { return lat[k] > thresh })
 	}
+
+	// Normal band: 0.5x–1.5x.
+	bandLo, bandHi := 0.5*avg, 1.5*avg
+	first := sort.Search(len(lat), func(k int) bool { return lat[k] >= bandLo })
+	inNormal := len(lat) - first - countAbove(bandHi)
 	quiet := 0
 	for pi := range pauses {
-		if hasReq[pi] && worst[pi] <= hi {
+		if hasReq[pi] && worst[pi] <= bandHi {
 			quiet++
 		}
 	}
@@ -129,12 +153,7 @@ func AnalyzeBands(samples []LatencySample, pauses []Interval, minReqPct float64)
 	// Exceedance bands: >2x, >4x, >8x, ...
 	for mult := 2.0; ; mult *= 2 {
 		thresh := mult * avg
-		count := 0
-		for _, s := range samples {
-			if s.LatencyMS > thresh {
-				count++
-			}
-		}
+		count := countAbove(thresh)
 		pct := 100 * float64(count) / n
 		if pct < minReqPct && len(rep.Above) > 0 {
 			break

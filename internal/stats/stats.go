@@ -72,24 +72,47 @@ func MinMax(xs []float64) (min, max float64, err error) {
 // nearest-rank interpolation. It returns an error for an empty slice or a
 // p outside [0, 100].
 func Percentile(xs []float64, p float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, errors.New("stats: Percentile of empty slice")
+	out, err := Percentiles(xs, p)
+	if err != nil {
+		return 0, err
 	}
-	if p < 0 || p > 100 {
-		return 0, errors.New("stats: percentile out of [0,100]")
+	return out[0], nil
+}
+
+// Percentiles returns one value per requested percentile, copying and
+// sorting xs once: where a report takes p50/p95/p99 from the same
+// slice, this is one O(n log n) sort instead of one per percentile.
+// Errors mirror Percentile's.
+func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: Percentile of empty slice")
+	}
+	for _, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, errors.New("stats: percentile out of [0,100]")
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+// percentileSorted evaluates one percentile over already-sorted data.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p == 100 {
-		return sorted[len(sorted)-1], nil
+		return sorted[len(sorted)-1]
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(rank)
 	frac := rank - float64(lo)
 	if lo+1 >= len(sorted) {
-		return sorted[lo], nil
+		return sorted[lo]
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // Welford is a streaming mean/variance/min/max accumulator, used where

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentilesMatchPercentile checks the sort-once batch API gives
+// bit-identical answers to the one-at-a-time calls it replaces.
+func TestPercentilesMatchPercentile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 0}
+	ps := []float64{0, 10, 50, 90, 95, 99, 100}
+	batch, err := Percentiles(xs, ps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		single, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Errorf("Percentiles[%v] = %v, Percentile = %v", p, batch[i], single)
+		}
+	}
+	if _, err := Percentiles(nil, 50); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := Percentiles(xs, 101); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+	if _, err := Percentiles(xs); err != nil {
+		t.Errorf("zero percentiles rejected: %v", err)
+	}
+}
+
+// TestBandAccumulatorMatchesExact streams the synthetic client run
+// through the accumulator and compares against AnalyzeBands: the
+// scalar block and every %GCs column must be exact, the %reqs columns
+// within the histogram's band-edge resolution.
+func TestBandAccumulatorMatchesExact(t *testing.T) {
+	samples, pauses := mkClientRun()
+	exact := AnalyzeBands(samples, pauses, 0.001)
+
+	acc := NewBandAccumulator(pauses, 0.001)
+	for _, s := range samples {
+		acc.Add(s)
+	}
+	stream := acc.Report()
+
+	if stream.N != exact.N || stream.AvgMS != exact.AvgMS ||
+		stream.MinMS != exact.MinMS || stream.MaxMS != exact.MaxMS {
+		t.Errorf("scalar block differs: stream {N %d avg %v min %v max %v}, exact {N %d avg %v min %v max %v}",
+			stream.N, stream.AvgMS, stream.MinMS, stream.MaxMS,
+			exact.N, exact.AvgMS, exact.MinMS, exact.MaxMS)
+	}
+	if stream.Normal.GCs != exact.Normal.GCs {
+		t.Errorf("normal GCs%%: stream %v, exact %v", stream.Normal.GCs, exact.Normal.GCs)
+	}
+	if math.Abs(stream.Normal.Reqs-exact.Normal.Reqs) > 0.5 {
+		t.Errorf("normal reqs%%: stream %v, exact %v", stream.Normal.Reqs, exact.Normal.Reqs)
+	}
+	if len(stream.Above) != len(exact.Above) {
+		t.Fatalf("band count: stream %d, exact %d", len(stream.Above), len(exact.Above))
+	}
+	for i := range exact.Above {
+		if stream.Above[i].Label != exact.Above[i].Label {
+			t.Errorf("band %d label: %q vs %q", i, stream.Above[i].Label, exact.Above[i].Label)
+		}
+		if stream.Above[i].GCs != exact.Above[i].GCs {
+			t.Errorf("band %s GCs%%: stream %v, exact %v",
+				exact.Above[i].Label, stream.Above[i].GCs, exact.Above[i].GCs)
+		}
+		if math.Abs(stream.Above[i].Reqs-exact.Above[i].Reqs) > 0.5 {
+			t.Errorf("band %s reqs%%: stream %v, exact %v",
+				exact.Above[i].Label, stream.Above[i].Reqs, exact.Above[i].Reqs)
+		}
+	}
+}
+
+// TestBandAccumulatorEmpty mirrors TestAnalyzeBandsEmpty.
+func TestBandAccumulatorEmpty(t *testing.T) {
+	rep := NewBandAccumulator(nil, 0.001).Report()
+	if rep.N != 0 || rep.AvgMS != 0 || rep.Normal.Reqs != 0 || len(rep.Above) != 0 {
+		t.Errorf("empty streaming report nonzero: %+v", rep)
+	}
+}
+
+// TestBandAccumulatorAllocationFree pins the acceptance criterion:
+// steady-state streaming recording performs zero allocations per
+// sample.
+func TestBandAccumulatorAllocationFree(t *testing.T) {
+	_, pauses := mkClientRun()
+	acc := NewBandAccumulator(pauses, 0.001)
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		t := float64(i) * 0.01
+		acc.Add(LatencySample{Completed: t + 0.001, LatencyMS: 1.0})
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("BandAccumulator.Add allocates %v per op, want 0", allocs)
+	}
+}

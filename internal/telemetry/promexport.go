@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"jvmgc/internal/hdrhist"
 	"jvmgc/internal/stats"
 )
 
@@ -58,6 +59,29 @@ func (s *PromSnapshot) Summary(name, help string, observations []float64) {
 	}
 }
 
+// Histogram appends a histogram family rendered from a streaming
+// log-bucketed histogram: cumulative _bucket lines per non-empty bucket
+// (upper bound = bucket high edge) plus the +Inf bucket, _sum and
+// _count. A nil or empty histogram appends nothing.
+func (s *PromSnapshot) Histogram(name, help string, h *hdrhist.Hist) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	n := sanitizeMetric(name)
+	f := promFamily{name: n, typ: "histogram", help: help}
+	cum := uint64(0)
+	h.ForEachBucket(func(b hdrhist.Bucket) {
+		cum += b.Count
+		f.lines = append(f.lines, fmt.Sprintf("%s%s_bucket{le=\"%g\"} %d",
+			promPrefix, n, b.High, cum))
+	})
+	f.lines = append(f.lines,
+		fmt.Sprintf("%s%s_bucket{le=\"+Inf\"} %d", promPrefix, n, h.Count()),
+		fmt.Sprintf("%s%s_sum %g", promPrefix, n, h.Sum()),
+		fmt.Sprintf("%s%s_count %d", promPrefix, n, h.Count()))
+	s.fams = append(s.fams, f)
+}
+
 // AddRecorderCounters appends one counter family per Recorder counter,
 // exactly as WritePrometheus exports them.
 func (s *PromSnapshot) AddRecorderCounters(r *Recorder) {
@@ -98,13 +122,14 @@ func summaryFamily(name, help string, xs []float64) (promFamily, bool) {
 		sum += x
 	}
 	f := promFamily{name: name, typ: "summary", help: help}
-	for _, q := range []float64{50, 95, 99} {
-		v, err := stats.Percentile(xs, q)
-		if err != nil {
-			return promFamily{}, false
-		}
+	qs := []float64{50, 95, 99}
+	vs, err := stats.Percentiles(xs, qs...)
+	if err != nil {
+		return promFamily{}, false
+	}
+	for i, q := range qs {
 		f.lines = append(f.lines, fmt.Sprintf("%s%s{quantile=\"%g\"} %g",
-			promPrefix, name, q/100, v))
+			promPrefix, name, q/100, vs[i]))
 	}
 	f.lines = append(f.lines,
 		fmt.Sprintf("%s%s_sum %g", promPrefix, name, sum),

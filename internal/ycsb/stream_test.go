@@ -1,0 +1,130 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/simtime"
+)
+
+// streamServer runs a small Cassandra server for stream/exact
+// comparison tests.
+func streamServer(t *testing.T) cassandra.Result {
+	t.Helper()
+	cfg := cassandra.DefaultConfig("ParallelOld", simtime.Seconds(600))
+	cfg.Seed = 77
+	res, err := cassandra.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStreamMatchesExact replays the same transactions phase through
+// both consumers: the generator guarantees the identical op sequence,
+// so counts and exact scalars must match bit-for-bit and the band
+// percentages must agree within histogram resolution.
+func TestStreamMatchesExact(t *testing.T) {
+	srv := streamServer(t)
+	cfg := TransactionConfig{ReadFraction: 0.5, OpsPerSec: 150,
+		StartAfter: srv.ReplayDuration.Seconds(), Seed: 99}
+
+	tr := TransactionTrace(srv, cfg)
+	st := TransactionStream(srv, cfg, 0.01, 1000)
+
+	if st.Reads+st.Updates != len(tr.Ops) {
+		t.Fatalf("op counts differ: stream %d, exact %d", st.Reads+st.Updates, len(tr.Ops))
+	}
+	shadowed := 0
+	for _, op := range tr.Ops {
+		if op.Shadowed {
+			shadowed++
+		}
+	}
+	if st.Shadowed != shadowed {
+		t.Errorf("shadowed: stream %d, exact %d", st.Shadowed, shadowed)
+	}
+	if st.Describe() != tr.Describe() {
+		t.Errorf("Describe differs:\n%s\n%s", st.Describe(), tr.Describe())
+	}
+
+	for _, typ := range []OpType{Read, Update} {
+		exact := tr.Bands(typ, 0.01)
+		stream := st.Read
+		if typ == Update {
+			stream = st.Update
+		}
+		if stream.N != exact.N || stream.AvgMS != exact.AvgMS ||
+			stream.MinMS != exact.MinMS || stream.MaxMS != exact.MaxMS {
+			t.Errorf("%v scalar block differs: stream {%d %v %v %v} exact {%d %v %v %v}", typ,
+				stream.N, stream.AvgMS, stream.MinMS, stream.MaxMS,
+				exact.N, exact.AvgMS, exact.MinMS, exact.MaxMS)
+		}
+		if stream.Normal.GCs != exact.Normal.GCs {
+			t.Errorf("%v normal GCs%%: stream %v, exact %v", typ, stream.Normal.GCs, exact.Normal.GCs)
+		}
+		if math.Abs(stream.Normal.Reqs-exact.Normal.Reqs) > 0.5 {
+			t.Errorf("%v normal reqs%%: stream %v, exact %v", typ, stream.Normal.Reqs, exact.Normal.Reqs)
+		}
+		for i := range exact.Above {
+			if i >= len(stream.Above) {
+				t.Errorf("%v: stream missing band %s", typ, exact.Above[i].Label)
+				continue
+			}
+			if stream.Above[i].GCs != exact.Above[i].GCs {
+				t.Errorf("%v band %s GCs%%: stream %v, exact %v", typ,
+					exact.Above[i].Label, stream.Above[i].GCs, exact.Above[i].GCs)
+			}
+			if math.Abs(stream.Above[i].Reqs-exact.Above[i].Reqs) > 0.5 {
+				t.Errorf("%v band %s reqs%%: stream %v, exact %v", typ,
+					exact.Above[i].Label, stream.Above[i].Reqs, exact.Above[i].Reqs)
+			}
+		}
+	}
+}
+
+// TestStreamTopPoints checks the reservoir holds the true highest
+// latencies: its minimum must be at least the exact trace's k-th
+// highest latency.
+func TestStreamTopPoints(t *testing.T) {
+	srv := streamServer(t)
+	cfg := TransactionConfig{ReadFraction: 0.5, OpsPerSec: 150,
+		StartAfter: srv.ReplayDuration.Seconds(), Seed: 99}
+	tr := TransactionTrace(srv, cfg)
+	st := TransactionStream(srv, cfg, 0.01, 50)
+
+	exactTop := tr.TopPoints(50)
+	streamTop := st.TopPoints(50)
+	if len(streamTop) == 0 {
+		t.Fatal("empty reservoir")
+	}
+	// Both selections hold the same multiset of latencies at full size.
+	sum := func(ops []Op) float64 {
+		s := 0.0
+		for _, op := range ops {
+			s += op.LatencyMS
+		}
+		return s
+	}
+	if len(streamTop) == len(exactTop) {
+		if d := math.Abs(sum(streamTop) - sum(exactTop)); d > 1e-6*sum(exactTop) {
+			t.Errorf("top-50 latency mass differs: stream %v, exact %v", sum(streamTop), sum(exactTop))
+		}
+	}
+	// Completion order, as Trace.TopPoints returns.
+	for i := 1; i < len(streamTop); i++ {
+		if streamTop[i].Completed < streamTop[i-1].Completed {
+			t.Error("TopPoints not in completion order")
+			break
+		}
+	}
+	// Asking for fewer returns the highest subset.
+	top10 := st.TopPoints(10)
+	if len(top10) != 10 {
+		t.Fatalf("TopPoints(10) returned %d", len(top10))
+	}
+	if st.TopPoints(0) != nil {
+		t.Error("TopPoints(0) not empty")
+	}
+}

@@ -121,18 +121,13 @@ func readStepMS(base float64, records int64) float64 {
 	return base * (1 + 0.45*steps)
 }
 
-// TransactionTrace replays a transactions phase against a finished server
-// run and returns the per-operation latency trace.
-func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
-	cfg = cfg.withDefaults()
-	rng := xrand.New(cfg.Seed).SplitLabeled("ycsb/txn/" + server.Config.CollectorName)
-	zipf := xrand.NewZipf(rng.Split(), cfg.KeySpace, cfg.ZipfTheta)
-
-	// Pauses that ended before the client connected (commitlog replay)
-	// are invisible to the client and excluded from the trace.
+// clientPauses extracts the pause intervals visible to the client:
+// pauses that ended before it connected (commitlog replay) are
+// invisible and excluded.
+func clientPauses(server cassandra.Result, startAfter float64) []stats.Interval {
 	var pauses []stats.Interval
 	for _, e := range server.Log.Pauses() {
-		if e.End().Seconds() <= cfg.StartAfter {
+		if e.End().Seconds() <= startAfter {
 			continue
 		}
 		pauses = append(pauses, stats.Interval{
@@ -140,16 +135,19 @@ func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
 			End:   e.End().Seconds(),
 		})
 	}
+	return pauses
+}
 
+// generate is the transactions-phase arrival process shared by the
+// exact and streaming consumers: it draws the identical random
+// sequence either way — same rng labels, same draw order — and hands
+// each completed operation to visit in ascending arrival (service
+// start) order. Telemetry emission lives here too, so both modes
+// produce the same counters and shadow spans.
+func generate(server cassandra.Result, cfg TransactionConfig, pauses []stats.Interval, visit func(op Op)) {
+	rng := xrand.New(cfg.Seed).SplitLabeled("ycsb/txn/" + server.Config.CollectorName)
+	zipf := xrand.NewZipf(rng.Split(), cfg.KeySpace, cfg.ZipfTheta)
 	horizon := server.TotalDuration.Seconds()
-	var tr Trace
-	tr.Pauses = pauses
-	if horizon > cfg.StartAfter && cfg.OpsPerSec > 0 {
-		// Size the op log for the expected arrival count up front; the
-		// Poisson spread around the mean is a few percent at these volumes.
-		expect := int((horizon - cfg.StartAfter) * cfg.OpsPerSec)
-		tr.Ops = make([]Op, 0, expect+expect/16+16)
-	}
 	ctrRead := cfg.Recorder.CounterHandle("ycsb.ops.read")
 	ctrUpdate := cfg.Recorder.CounterHandle("ycsb.ops.update")
 	ctrShadowed := cfg.Recorder.CounterHandle("ycsb.ops.shadowed")
@@ -185,7 +183,7 @@ func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
 			op.Shadowed = true
 		}
 		op.Completed = t + op.LatencyMS/1e3
-		tr.Ops = append(tr.Ops, op)
+		visit(op)
 		if cfg.Recorder != nil {
 			if op.Type == Read {
 				ctrRead.Add(1)
@@ -202,6 +200,23 @@ func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
 			}
 		}
 	}
+}
+
+// TransactionTrace replays a transactions phase against a finished server
+// run and returns the per-operation latency trace.
+func TransactionTrace(server cassandra.Result, cfg TransactionConfig) Trace {
+	cfg = cfg.withDefaults()
+	pauses := clientPauses(server, cfg.StartAfter)
+	horizon := server.TotalDuration.Seconds()
+	var tr Trace
+	tr.Pauses = pauses
+	if horizon > cfg.StartAfter && cfg.OpsPerSec > 0 {
+		// Size the op log for the expected arrival count up front; the
+		// Poisson spread around the mean is a few percent at these volumes.
+		expect := int((horizon - cfg.StartAfter) * cfg.OpsPerSec)
+		tr.Ops = make([]Op, 0, expect+expect/16+16)
+	}
+	generate(server, cfg, pauses, func(op Op) { tr.Ops = append(tr.Ops, op) })
 	return tr
 }
 

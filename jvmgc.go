@@ -122,6 +122,11 @@ type SimulationConfig struct {
 	// (GC span trees, time series, counters). Attaching one never changes
 	// simulation results: emission is read-only.
 	Recorder *Recorder
+	// StreamingStats folds the safepoint TTSP distribution into a
+	// bounded log-bucketed histogram instead of retaining every sample:
+	// constant memory for arbitrarily long runs, percentiles within 1%.
+	// The simulation itself is unaffected.
+	StreamingStats bool
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -193,13 +198,14 @@ func (c SimulationConfig) build() (jvm.Config, jvm.Workload, error) {
 	tlab := heapmodel.DefaultTLAB()
 	tlab.Enabled = !c.DisableTLAB
 	cfg := jvm.Config{
-		Machine:       m,
-		Collector:     col,
-		Geometry:      heapmodel.Geometry{Heap: heap, Young: young, SurvivorRatio: heapmodel.DefaultSurvivorRatio},
-		YoungExplicit: youngExplicit,
-		TLAB:          tlab,
-		Recorder:      c.Recorder,
-		Seed:          c.Seed,
+		Machine:        m,
+		Collector:      col,
+		Geometry:       heapmodel.Geometry{Heap: heap, Young: young, SurvivorRatio: heapmodel.DefaultSurvivorRatio},
+		YoungExplicit:  youngExplicit,
+		TLAB:           tlab,
+		Recorder:       c.Recorder,
+		StreamingStats: c.StreamingStats,
+		Seed:           c.Seed,
 	}
 	w := jvm.Workload{Threads: threads, AllocRate: alloc, Profile: profile}
 	return cfg, w, nil
@@ -223,6 +229,7 @@ func Simulate(cfg SimulationConfig, duration time.Duration) (*SimulationResult, 
 func summarize(j *jvm.JVM) *SimulationResult {
 	log := j.Log()
 	sp := j.SafepointDistribution()
+	qs := sp.Percentiles(50, 95, 99)
 	res := &SimulationResult{
 		TotalPause:   log.TotalPause().Std(),
 		MaxPause:     log.MaxPause().Std(),
@@ -233,9 +240,9 @@ func summarize(j *jvm.JVM) *SimulationResult {
 			Total: sp.Total().Std(),
 			Max:   sp.Max().Std(),
 			Mean:  sp.Mean().Std(),
-			P50:   sp.Percentile(50).Std(),
-			P95:   sp.Percentile(95).Std(),
-			P99:   sp.Percentile(99).Std(),
+			P50:   qs[0].Std(),
+			P95:   qs[1].Std(),
+			P99:   qs[2].Std(),
 		},
 		LogText: log.String(),
 	}
