@@ -23,7 +23,11 @@ go test -race -count=1 -run 'TestChaosCampaignConvergence|TestWarmRestartAndCorr
 # detector explicitly (and not in -short mode, which skips the
 # imbalance speedup gate).
 go test -race -count=1 ./internal/sweep/
-go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint' -benchtime=1x ./...
+# Trace e2e under the race detector: a trace is written from the HTTP
+# handler, the scheduler watcher and the executing worker, and the
+# chaos variant drives that concurrently with injected faults.
+go test -race -count=1 -run 'TestEndToEndTracing|TestEndToEndTraceCacheDispositions|TestEndToEndTraceChaos' ./internal/labd/
+go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint|BenchmarkNoopTracePoint' -benchtime=1x ./...
 
 # bench-gate: re-measure the kernel-bound artifact benchmarks (without
 # -race; the gate measures the product, not the detector) and compare.

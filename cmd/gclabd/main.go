@@ -31,6 +31,7 @@ import (
 
 	"jvmgc/internal/faultinject"
 	"jvmgc/internal/labd"
+	"jvmgc/internal/obs"
 )
 
 func main() {
@@ -45,6 +46,14 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "fault-injection seed; a fixed seed replays a chaos campaign")
 		chaosSpec   = flag.String("chaos-spec", "", "fault-injection spec, e.g. 'labd/job.panic:p=0.01;labd/http.flaky:every=50' (empty disables injection)")
+
+		trace      = flag.Bool("trace", true, "request tracing: per-request spans at /debug/traces, exemplars on /metrics")
+		traceCap   = flag.Int("trace-capacity", 256, "completed traces retained in the ring (slowest are kept longer)")
+		traceSlow  = flag.Int("trace-slowest", 16, "slowest traces pinned beyond ring eviction")
+		traceSeed  = flag.Uint64("trace-seed", 0, "trace/span ID seed; fixed seed reproduces the ID stream (0 = from clock)")
+		sloLatency = flag.Duration("slo-latency", 500*time.Millisecond, "SLO latency threshold; slower requests burn the latency budget")
+		sloTarget  = flag.Float64("slo-target", 0.99, "SLO latency objective: fraction of requests under the threshold")
+		sloErrTgt  = flag.Float64("slo-error-target", 0.999, "SLO availability objective: fraction of requests that succeed")
 	)
 	flag.Parse()
 
@@ -57,7 +66,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gclabd: CHAOS ENABLED: seed=%d spec=%q\n", *chaosSeed, *chaosSpec)
 	}
 
-	srv, err := labd.New(labd.Config{
+	cfg := labd.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheSize,
@@ -65,7 +74,20 @@ func main() {
 		DefaultTimeout: *timeout,
 		Parallelism:    *parallelism,
 		Chaos:          chaos,
-	})
+	}
+	if *trace {
+		cfg.Tracer = obs.NewTracer(obs.Config{
+			Capacity: *traceCap,
+			SlowestK: *traceSlow,
+			Seed:     *traceSeed,
+		})
+		cfg.SLO = obs.NewSLO(obs.SLOConfig{
+			LatencyThreshold: *sloLatency,
+			LatencyTarget:    *sloTarget,
+			ErrorTarget:      *sloErrTgt,
+		})
+	}
+	srv, err := labd.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gclabd:", err)
 		os.Exit(1)

@@ -1,0 +1,91 @@
+package hdrhist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExemplarsObserveAndLookup(t *testing.T) {
+	h := New(Config{})
+	ex := NewExemplars(h)
+
+	ex.Observe(0.010, "trace-a", 100)
+	ex.Observe(0.500, "trace-b", 200)
+	if h.Count() != 2 {
+		t.Fatalf("underlying hist count = %d, want 2", h.Count())
+	}
+
+	found := 0
+	h.ForEachBucket(func(b Bucket) {
+		e, ok := ex.For(b.Index)
+		if !ok {
+			t.Fatalf("bucket %d [%g,%g) has no exemplar", b.Index, b.Low, b.High)
+		}
+		if e.Value < b.Low || e.Value >= b.High {
+			t.Errorf("exemplar value %g outside its bucket [%g,%g)", e.Value, b.Low, b.High)
+		}
+		found++
+	})
+	if found != 2 {
+		t.Fatalf("non-empty buckets = %d, want 2", found)
+	}
+}
+
+func TestExemplarsLatestWinsAndEmptyLabel(t *testing.T) {
+	h := New(Config{})
+	ex := NewExemplars(h)
+
+	ex.Observe(0.100, "first", 1)
+	ex.Observe(0.100, "second", 2)
+	// Empty label records the value but leaves the exemplar slot alone.
+	ex.Observe(0.100, "", 3)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+
+	var got Exemplar
+	h.ForEachBucket(func(b Bucket) {
+		if e, ok := ex.For(b.Index); ok {
+			got = e
+		}
+	})
+	if got.Label != "second" || got.TS != 2 {
+		t.Fatalf("exemplar = %+v, want latest labeled observation (second, ts=2)", got)
+	}
+}
+
+func TestExemplarsEdgeCases(t *testing.T) {
+	h := New(Config{})
+	ex := NewExemplars(h)
+
+	// NaN is dropped entirely.
+	ex.Observe(math.NaN(), "nan", 1)
+	if h.Count() != 0 {
+		t.Fatalf("NaN recorded: count = %d", h.Count())
+	}
+
+	// Out-of-range lookups and a nil tracker are safe.
+	if _, ok := ex.For(-1); ok {
+		t.Error("For(-1) reported an exemplar")
+	}
+	if _, ok := ex.For(1 << 30); ok {
+		t.Error("For(huge) reported an exemplar")
+	}
+	var nilEx *Exemplars
+	if _, ok := nilEx.For(0); ok {
+		t.Error("nil Exemplars reported an exemplar")
+	}
+
+	// Sub-resolution and saturation buckets take exemplars too.
+	ex.Observe(1e-12, "tiny", 1)
+	ex.Observe(1e13, "huge", 2)
+	labels := map[string]bool{}
+	h.ForEachBucket(func(b Bucket) {
+		if e, ok := ex.For(b.Index); ok {
+			labels[e.Label] = true
+		}
+	})
+	if !labels["tiny"] || !labels["huge"] {
+		t.Fatalf("edge buckets missing exemplars: %v", labels)
+	}
+}

@@ -329,6 +329,9 @@ func (h *Hist) Reset() {
 
 // Bucket is one non-empty bucket surfaced by ForEachBucket.
 type Bucket struct {
+	// Index is the bucket's position in the histogram's bucket array;
+	// it keys side tables such as Exemplars.
+	Index int
 	// Low and High bound the bucket's values: [Low, High). The
 	// sub-resolution bucket has Low 0; the saturation bucket has High
 	// +Inf.
@@ -344,6 +347,6 @@ func (h *Hist) ForEachBucket(fn func(Bucket)) {
 		if c == 0 {
 			continue
 		}
-		fn(Bucket{Low: h.bucketLow(i), High: h.bucketHigh(i), Count: c})
+		fn(Bucket{Index: i, Low: h.bucketLow(i), High: h.bucketHigh(i), Count: c})
 	}
 }

@@ -59,24 +59,33 @@ func newResultCache(max int, disk *diskCache) *resultCache {
 // same key. A corrupt disk entry is deleted inside the read and shows up
 // here as a plain miss, so the new leader recomputes and rewrites it.
 func (c *resultCache) begin(key string) (cached []byte, fl *flight, leader bool) {
+	cached, _, fl, leader = c.beginTier(key)
+	return cached, fl, leader
+}
+
+// beginTier is begin plus the tier that resolved the key — "memory",
+// "disk", "coalesced" (joined a flight) or "miss" (became leader) — for
+// the tracing layer, which wants the cache lookup's disposition on the
+// span without re-deriving it.
+func (c *resultCache) beginTier(key string) (cached []byte, tier string, fl *flight, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(e)
-		return e.Value.(*cacheEntry).bytes, nil, false
+		return e.Value.(*cacheEntry).bytes, "memory", nil, false
 	}
 	if fl, ok := c.flights[key]; ok {
-		return nil, fl, false
+		return nil, "coalesced", fl, false
 	}
 	if c.disk != nil {
 		if bytes, ok := c.disk.read(key); ok {
 			c.insert(key, bytes)
-			return bytes, nil, false
+			return bytes, "disk", nil, false
 		}
 	}
 	fl = &flight{done: make(chan struct{})}
 	c.flights[key] = fl
-	return nil, fl, true
+	return nil, "miss", fl, true
 }
 
 // complete finishes a flight: on success the bytes are stored (evicting

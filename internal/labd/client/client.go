@@ -40,6 +40,8 @@ import (
 	"time"
 
 	"jvmgc/internal/labd"
+	"jvmgc/internal/obs"
+	"jvmgc/internal/telemetry"
 )
 
 // RetryPolicy shapes the retry loop for idempotent requests.
@@ -122,6 +124,14 @@ type Client struct {
 	// Breaker shapes the circuit breaker; the zero value selects
 	// defaults.
 	Breaker BreakerPolicy
+	// Trace enables distributed tracing: each submission carries a W3C
+	// traceparent header minted by the client, so the daemon's trace
+	// adopts the client's trace ID and the request is followable
+	// end-to-end from either side.
+	Trace bool
+	// TraceSeed fixes the trace-ID stream for reproducible tests
+	// (0 = derived from the clock).
+	TraceSeed uint64
 
 	mu       sync.Mutex
 	state    breakerState
@@ -129,6 +139,7 @@ type Client struct {
 	openedAt time.Time
 	probing  bool
 	stats    Stats
+	ids      *obs.IDGen // lazy; guarded by mu
 }
 
 type breakerState int
@@ -156,6 +167,65 @@ func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// State reports the circuit breaker's current state: "closed", "open"
+// or "half-open".
+func (c *Client) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// WritePrometheus renders the client's resilience counters and breaker
+// state in Prometheus text format, so a campaign driver embedding this
+// client can expose its side of the conversation next to the daemon's.
+func (c *Client) WritePrometheus(w io.Writer) error {
+	st := c.Stats()
+	state := c.State()
+	var snap telemetry.PromSnapshot
+	snap.Counter("labd.client.attempts", "HTTP requests actually sent.", st.Attempts)
+	snap.Counter("labd.client.retries", "Re-sent requests (attempts beyond the first, per call).", st.Retries)
+	snap.Counter("labd.client.retry.after.honored",
+		"Backoffs that used a server-provided Retry-After.", st.RetryAfterHonored)
+	snap.Counter("labd.client.breaker.opens",
+		"Circuit breaker transitions to open.", st.BreakerOpens)
+	snap.Counter("labd.client.breaker.fast.fails",
+		"Calls rejected without a request because the breaker was open.", st.BreakerFastFails)
+	rows := make([]telemetry.LabeledValue, 0, 3)
+	for _, s := range []string{"closed", "open", "half-open"} {
+		v := 0.0
+		if s == state {
+			v = 1
+		}
+		rows = append(rows, telemetry.LabeledValue{
+			Labels: []telemetry.Label{{Name: "state", Value: s}},
+			Value:  v,
+		})
+	}
+	snap.LabeledGauge("labd.client.breaker.state",
+		"Circuit breaker state (the current state's row is 1).", rows)
+	return snap.Write(w)
+}
+
+// mintTraceparent returns a fresh traceparent header value and the
+// trace ID it carries.
+func (c *Client) mintTraceparent() (header, traceID string) {
+	c.mu.Lock()
+	if c.ids == nil {
+		c.ids = obs.NewIDGen(c.TraceSeed)
+	}
+	g := c.ids
+	c.mu.Unlock()
+	tid, sid := g.TraceID(), g.SpanID()
+	return obs.Traceparent(tid, sid), tid.String()
 }
 
 // APIError is a non-2xx daemon response.
@@ -391,6 +461,10 @@ type Submission struct {
 	// Bytes is the raw result body — byte-identical for every
 	// submission of the same spec.
 	Bytes []byte
+	// TraceID identifies the request's distributed trace when tracing
+	// was on (client-side Trace, daemon-side Config.Tracer, or both);
+	// resolve it at the daemon's /debug/traces/{id}.
+	TraceID string
 }
 
 // Result decodes the result body.
@@ -402,18 +476,34 @@ func (s *Submission) Result() (*labd.JobResult, error) {
 	return &out, nil
 }
 
-func (c *Client) postJobs(ctx context.Context, req labd.SubmitRequest, want int) ([]byte, *http.Response, error) {
+func (c *Client) postJobs(ctx context.Context, req labd.SubmitRequest, want int) (body []byte, resp *http.Response, traceID string, err error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.BaseURL+"/v1/jobs", bytes.NewReader(payload))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	return c.do(hreq, want)
+	if c.Trace {
+		// One trace ID per logical submission: retries re-send the same
+		// traceparent, so however many attempts it takes, the request is
+		// one trace.
+		var header string
+		header, traceID = c.mintTraceparent()
+		hreq.Header.Set("traceparent", header)
+	}
+	body, resp, err = c.do(hreq, want)
+	// The daemon's X-Labd-Trace is authoritative (it may have minted its
+	// own ID when the client sent none); fall back to the minted ID.
+	if resp != nil {
+		if got := resp.Header.Get("X-Labd-Trace"); got != "" {
+			traceID = got
+		}
+	}
+	return body, resp, traceID, err
 }
 
 // Submit runs one job synchronously and returns its result bytes along
@@ -426,22 +516,23 @@ func (c *Client) Submit(ctx context.Context, spec labd.JobSpec) (*Submission, er
 // req.Async is forced off; use SubmitAsync for fire-and-poll.
 func (c *Client) SubmitRequest(ctx context.Context, req labd.SubmitRequest) (*Submission, error) {
 	req.Async = false
-	body, resp, err := c.postJobs(ctx, req, http.StatusOK)
+	body, resp, traceID, err := c.postJobs(ctx, req, http.StatusOK)
 	if err != nil {
 		return nil, err
 	}
 	return &Submission{
-		JobID: resp.Header.Get("X-Labd-Job"),
-		Key:   resp.Header.Get("X-Labd-Key"),
-		Cache: resp.Header.Get("X-Labd-Cache"),
-		Bytes: body,
+		JobID:   resp.Header.Get("X-Labd-Job"),
+		Key:     resp.Header.Get("X-Labd-Key"),
+		Cache:   resp.Header.Get("X-Labd-Cache"),
+		Bytes:   body,
+		TraceID: traceID,
 	}, nil
 }
 
 // SubmitAsync enqueues a job and returns immediately with its status.
 func (c *Client) SubmitAsync(ctx context.Context, req labd.SubmitRequest) (*labd.JobInfo, error) {
 	req.Async = true
-	body, _, err := c.postJobs(ctx, req, http.StatusAccepted)
+	body, _, _, err := c.postJobs(ctx, req, http.StatusAccepted)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"jvmgc/internal/obs"
 	"jvmgc/internal/telemetry"
 )
 
@@ -36,6 +37,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+	mux.HandleFunc("GET /debug/traces/{id}/chrome", s.handleTraceChrome)
+	mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	if !s.chaos.Enabled() {
 		return mux
 	}
@@ -84,10 +89,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// A traced daemon starts (or, given an inbound traceparent, adopts)
+	// a trace for the request; the trace rides the context into the
+	// scheduler and finishes when the job does. Submissions rejected
+	// before a job exists finish it here — Finish is idempotent, so the
+	// two paths cannot double-file.
+	ctx := r.Context()
+	var tr *obs.Trace
+	if s.tracer.Enabled() {
+		tid, rsid, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		tr = s.tracer.StartTrace("labd.request", tid, rsid)
+		tr.Annotate(obs.Str("method", r.Method), obs.Str("path", r.URL.Path))
+		ctx = obs.NewContext(ctx, tr)
+		w.Header().Set("X-Labd-Trace", tr.ID().String())
+	}
+
 	// The request context's deadline (if the client set one) caps the
 	// job's timeout — deadline propagation from HTTP edge to simulation.
-	j, err := s.SubmitContext(r.Context(), req)
+	j, err := s.SubmitContext(ctx, req)
 	if err != nil {
+		tr.Finish(err)
 		var inv errInvalid
 		switch {
 		case errors.As(err, &inv):
@@ -201,10 +222,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the daemon's observability snapshot: recorder
-// counters (jobs, cache, simulations), live scheduler gauges and the
-// job-latency summary, all through telemetry's Prometheus exporter.
+// counters (jobs, cache, simulations), live scheduler gauges, the
+// job-latency summary and histograms, SLO burn rates and the Go
+// runtime's own GC vitals, all through telemetry's Prometheus exporter.
+//
+// The format is negotiated: the classic text format (version 0.0.4) by
+// default, OpenMetrics when the Accept header asks for
+// application/openmetrics-text — exemplars (the trace IDs attached to
+// latency-histogram buckets) are only legal in OpenMetrics, so only that
+// form carries them.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var snap telemetry.PromSnapshot
+	openMetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+	snap := telemetry.PromSnapshot{OpenMetrics: openMetrics}
 	snap.AddRecorderCounters(s.rec)
 	snap.Gauge("labd.queue.depth", "Jobs waiting for a worker.", float64(s.QueueDepth()))
 	snap.Gauge("labd.jobs.running", "Jobs executing right now.", float64(s.Running()))
@@ -222,6 +251,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"Faults fired by the chaos injector across all sites.",
 			s.chaos.Total())
 	}
+	if store := s.tracer.Store(); store != nil {
+		snap.Gauge("labd.traces.seen", "Traces ever filed by the daemon.", float64(store.Seen()))
+		snap.Gauge("labd.traces.retained", "Traces currently retained for /debug/traces.",
+			float64(store.Len()))
+	}
+	s.addSLOMetrics(&snap)
+	obs.ReadRuntimeSample().AddTo(&snap)
 
 	var latencies []float64
 	for _, span := range s.rec.TrackSpans("labd") {
@@ -231,13 +267,114 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"End-to-end job latency (enqueue to completion), including cache hits.",
 		latencies)
 	s.histMu.Lock()
-	snap.Histogram("labd_job_latency_hist_seconds",
+	snap.HistogramExemplars("labd_job_latency_hist_seconds",
 		"End-to-end job latency distribution (streaming histogram over the daemon's whole lifetime).",
-		s.latHist)
+		s.latHist, s.latEx)
+	snap.Histogram("labd_queue_wait_seconds",
+		"Time leader jobs spent queued before a worker claimed them.",
+		s.queueHist)
 	s.histMu.Unlock()
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if openMetrics {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 	_ = snap.Write(w)
+}
+
+// addSLOMetrics renders the burn-rate monitor as gauges: one labeled
+// row per (objective, window) pair plus the lifetime counts.
+func (s *Server) addSLOMetrics(snap *telemetry.PromSnapshot) {
+	if !s.slo.Enabled() {
+		return
+	}
+	st := s.slo.Status()
+	var lat, errs []telemetry.LabeledValue
+	for _, win := range st.Windows {
+		lat = append(lat, telemetry.LabeledValue{
+			Labels: []telemetry.Label{{Name: "window", Value: win.Window}},
+			Value:  win.LatencyBurnRate,
+		})
+		errs = append(errs, telemetry.LabeledValue{
+			Labels: []telemetry.Label{{Name: "window", Value: win.Window}},
+			Value:  win.ErrorBurnRate,
+		})
+	}
+	snap.LabeledGauge("labd.slo.latency.burn.rate",
+		"Latency error-budget burn multiplier per window (1.0 = budget exactly exhausted).", lat)
+	snap.LabeledGauge("labd.slo.error.burn.rate",
+		"Error-budget burn multiplier per window.", errs)
+	snap.Gauge("labd.slo.requests", "Requests observed by the SLO monitor.", float64(st.Total))
+	snap.Gauge("labd.slo.slow.requests", "Requests over the latency threshold.", float64(st.Slow))
+	snap.Gauge("labd.slo.failed.requests", "Failed requests.", float64(st.Errors))
+	severity := map[string]float64{"idle": 0, "ok": 0, "watch": 1, "warn": 2, "page": 3}[st.Severity]
+	snap.Gauge("labd.slo.severity",
+		"Multiwindow alert severity: 0 ok/idle, 1 watch, 2 warn, 3 page.", severity)
+}
+
+// handleTraces lists retained traces: the recent ring, the slowest-K
+// set, and filing totals.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	store := s.tracer.Store()
+	if store == nil {
+		writeError(w, http.StatusNotFound, errors.New("labd: tracing disabled"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Seen     int64              `json:"seen"`
+		Retained int                `json:"retained"`
+		Recent   []obs.TraceSummary `json:"recent"`
+		Slowest  []obs.TraceSummary `json:"slowest"`
+	}{store.Seen(), store.Len(), store.Recent(), store.Slowest()})
+}
+
+// traceFromPath resolves {id} against the trace store.
+func (s *Server) traceFromPath(w http.ResponseWriter, r *http.Request) (*obs.TraceData, bool) {
+	store := s.tracer.Store()
+	if store == nil {
+		writeError(w, http.StatusNotFound, errors.New("labd: tracing disabled"))
+		return nil, false
+	}
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	td, ok := store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("labd: no such trace (evicted or never filed)"))
+		return nil, false
+	}
+	return td, true
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if td, ok := s.traceFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, struct {
+			ID string `json:"id"`
+			*obs.TraceData
+		}{td.ID.String(), td})
+	}
+}
+
+// handleTraceChrome exports one trace as Chrome trace-event JSON for
+// Perfetto (ui.perfetto.dev → open trace file).
+func (s *Server) handleTraceChrome(w http.ResponseWriter, r *http.Request) {
+	if td, ok := s.traceFromPath(w, r); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			`attachment; filename="labd-trace-`+td.ID.String()+`.json"`)
+		_ = obs.WriteChromeTrace(w, td)
+	}
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if !s.slo.Enabled() {
+		writeError(w, http.StatusNotFound, errors.New("labd: SLO monitoring disabled"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Status())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -235,6 +235,9 @@ type JobInfo struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// ResultBytes is the size of the result body once done.
 	ResultBytes int `json:"result_bytes,omitempty"`
+	// TraceID identifies the request's trace when tracing was on;
+	// resolve it at /debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -37,6 +37,7 @@ import (
 
 	"jvmgc/internal/faultinject"
 	"jvmgc/internal/hdrhist"
+	"jvmgc/internal/obs"
 	"jvmgc/internal/simtime"
 	"jvmgc/internal/sweep"
 	"jvmgc/internal/telemetry"
@@ -73,6 +74,15 @@ type Config struct {
 	// default — is a zero-cost no-op; production daemons never pay for
 	// the fault points they carry.
 	Chaos *faultinject.Injector
+	// Tracer enables request tracing: every submission gets (or adopts,
+	// via an inbound traceparent header) a trace that follows the job
+	// through cache lookup, queue wait, the executing worker and the
+	// simulation's own GC pauses, served at /debug/traces. Nil — the
+	// default — disables tracing at the cost of one nil check per site.
+	Tracer *obs.Tracer
+	// SLO enables the burn-rate monitor over finished-job latency and
+	// errors, served at /debug/slo and as /metrics gauges. Nil disables.
+	SLO *obs.SLO
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +158,10 @@ type Job struct {
 	// coalesced followers).
 	fl *flight
 
+	// trace is the request's distributed trace (nil when tracing is
+	// off); every method on it is nil-safe.
+	trace *obs.Trace
+
 	once sync.Once
 	// done closes when the job reaches a terminal status.
 	done chan struct{}
@@ -187,6 +201,9 @@ func (j *Job) Info() JobInfo {
 		CacheHit:  j.cacheHit,
 		Coalesced: j.coalesced,
 	}
+	if id := j.trace.ID(); !id.IsZero() {
+		info.TraceID = id.String()
+	}
 	if j.err != nil {
 		info.Error = j.err.Error()
 	}
@@ -207,17 +224,26 @@ type Server struct {
 
 	// runSpec is the execution function; tests substitute it to model
 	// slow or failing jobs without running simulations. The context
-	// carries the job's deadline, propagated from the HTTP request.
-	runSpec func(ctx context.Context, spec JobSpec, parallelism int) (*JobResult, error)
+	// carries the job's deadline, propagated from the HTTP request; rec
+	// is a per-job flight recorder attached only to traced simulations
+	// (nil otherwise), whose GC spans the trace adopts.
+	runSpec func(ctx context.Context, spec JobSpec, parallelism int, rec *telemetry.Recorder) (*JobResult, error)
+
+	tracer *obs.Tracer
+	slo    *obs.SLO
 
 	started time.Time
 	running atomic.Int64
 
 	// latHist streams every finished job's end-to-end latency
 	// (seconds) into a bounded histogram for /metrics, independent of
-	// the span ring's retention.
-	histMu  sync.Mutex
-	latHist *hdrhist.Hist
+	// the span ring's retention; latEx pins one exemplar trace ID per
+	// bucket so a latency spike on the histogram resolves to the trace
+	// that caused it. queueHist streams leader jobs' queue wait.
+	histMu    sync.Mutex
+	latHist   *hdrhist.Hist
+	latEx     *hdrhist.Exemplars
+	queueHist *hdrhist.Hist
 
 	mu       sync.Mutex
 	draining bool
@@ -247,11 +273,15 @@ func New(cfg Config) (*Server, error) {
 			Workers:    cfg.Workers,
 			QueueLimit: cfg.QueueDepth,
 		}),
-		runSpec: runSpec,
-		started: time.Now(),
-		jobs:    make(map[string]*Job),
-		latHist: hdrhist.New(hdrhist.Config{}),
+		runSpec:   runSpec,
+		tracer:    cfg.Tracer,
+		slo:       cfg.SLO,
+		started:   time.Now(),
+		jobs:      make(map[string]*Job),
+		latHist:   hdrhist.New(hdrhist.Config{}),
+		queueHist: hdrhist.New(hdrhist.Config{}),
 	}
+	s.latEx = hdrhist.NewExemplars(s.latHist)
 	// Pre-register the resilience counters so /metrics exposes them at
 	// zero before (and whether or not) anything goes wrong.
 	s.rec.Add("labd.jobs.panicked", 0)
@@ -304,8 +334,15 @@ func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, er
 		ctx:      jctx,
 		cancel:   cancel,
 		enqueued: time.Now(),
+		trace:    obs.FromContext(ctx),
 		done:     make(chan struct{}),
 		status:   StatusQueued,
+	}
+	// Attr-carrying trace calls are guarded: the variadic attr slice is
+	// built at the call site before the nil-receiver check, so unguarded
+	// calls would put allocations on the untraced hot path (bench-gated).
+	if j.trace != nil {
+		j.trace.Annotate(obs.Str("kind", spec.Kind), obs.Str("key", key))
 	}
 
 	s.mu.Lock()
@@ -320,7 +357,12 @@ func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, er
 	s.register(j)
 	s.rec.Add("labd.jobs.submitted", 1)
 
-	cached, fl, leader := s.cache.begin(j.Key)
+	lookup := j.trace.StartSpan("cache.lookup", "sched", obs.SpanID{})
+	cached, tier, fl, leader := s.cache.beginTier(j.Key)
+	if j.trace != nil {
+		lookup.End(obs.Str("tier", tier))
+		j.trace.Annotate(obs.Str("cache", tier))
+	}
 	switch {
 	case cached != nil:
 		j.cacheHit = true
@@ -332,10 +374,13 @@ func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, er
 		s.mu.Unlock()
 		s.rec.Add("labd.jobs.coalesced", 1)
 		go func() {
+			wait := j.trace.StartSpan("coalesce.wait", "sched", obs.SpanID{})
 			select {
 			case <-fl.done:
+				wait.End()
 				s.finish(j, fl.bytes, fl.err)
 			case <-j.ctx.Done():
+				wait.End()
 				s.finish(j, nil, j.ctx.Err())
 			}
 		}()
@@ -343,7 +388,7 @@ func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, er
 		// Leader: the pool submission must happen under the submit lock
 		// so a concurrent Drain cannot close the pool in between.
 		j.fl = fl
-		switch err := s.pool.Submit(func() { s.runJob(j) }); err {
+		switch err := s.pool.SubmitWorker(func(worker int) { s.runJob(j, worker) }); err {
 		case nil:
 			s.mu.Unlock()
 			s.rec.Add("labd.cache.misses", 1)
@@ -428,8 +473,8 @@ func (s *Server) JobInfos() []JobInfo {
 	return out
 }
 
-// runJob executes one dequeued leader job.
-func (s *Server) runJob(j *Job) {
+// runJob executes one dequeued leader job on the given pool worker.
+func (s *Server) runJob(j *Job, worker int) {
 	j.mu.Lock()
 	if j.status != StatusQueued || j.ctx.Err() != nil {
 		// Abandoned while queued; watchLeader fails the job and its
@@ -439,6 +484,16 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.status = StatusRunning
 	j.mu.Unlock()
+	// Queue wait is the enqueue-to-claim interval: what backpressure and
+	// pool saturation cost this job before any work happened.
+	queueWait := time.Since(j.enqueued)
+	if j.trace != nil {
+		j.trace.Span("queue.wait", "sched", obs.SpanID{}, 0, queueWait, false,
+			obs.Num("worker", float64(worker)))
+	}
+	s.histMu.Lock()
+	s.queueHist.Record(queueWait.Seconds())
+	s.histMu.Unlock()
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	s.rec.Add("labd.simulations", 1)
@@ -449,7 +504,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	outcome := make(chan execOutcome, 1)
 	go func() {
-		bytes, err := s.execute(j)
+		bytes, err := s.execute(j, worker)
 		// Complete the flight regardless of the leader's fate: followers
 		// and future requests get the result even if the leader's
 		// deadline passed mid-run.
@@ -469,7 +524,7 @@ func (s *Server) runJob(j *Job) {
 // recovered value and its stack, while the worker, its queue and the
 // daemon keep serving. Fault points run inside the recover scope so
 // chaos exercises the same containment a real bug would.
-func (s *Server) execute(j *Job) (bytes []byte, err error) {
+func (s *Server) execute(j *Job, worker int) (bytes []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.rec.Add("labd.jobs.panicked", 1)
@@ -490,11 +545,82 @@ func (s *Server) execute(j *Job) (bytes []byte, err error) {
 	if s.chaos.Fire(FaultJobPanic) {
 		panic("faultinject: injected panic at " + FaultJobPanic)
 	}
-	res, err := s.runSpec(j.ctx, j.spec, s.cfg.Parallelism)
+	// A traced simulation gets its own flight recorder so the trace can
+	// adopt the simulated JVM's GC pause spans. The recorder observes
+	// without perturbing: results stay byte-identical with tracing on or
+	// off (pinned by TestEndToEndTracing's byte-identity check).
+	var rec *telemetry.Recorder
+	var simSpan obs.ActiveSpan
+	if j.trace != nil {
+		if j.spec.Kind == KindSimulate {
+			rec = telemetry.New(telemetry.Config{})
+		}
+		simSpan = j.trace.StartSpan("simulate", "exec", obs.SpanID{},
+			obs.Num("worker", float64(worker)), obs.Str("kind", j.spec.Kind))
+	}
+	res, err := s.runSpec(j.ctx, j.spec, s.cfg.Parallelism, rec)
+	simID := simSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	return marshalResult(res)
+	importGCSpans(j.trace, simID, rec)
+	encode := j.trace.StartSpan("encode", "exec", obs.SpanID{})
+	bytes, err = marshalResult(res)
+	if j.trace != nil {
+		encode.End(obs.Num("bytes", float64(len(bytes))))
+	}
+	return bytes, err
+}
+
+// importGCSpans adopts a per-job flight recorder's stop-the-world pause
+// spans (and their phase children) into the request trace as
+// simulated-time children of the simulate span. The cap keeps a
+// pause-storm simulation from flooding the trace; the trace's own
+// MaxSpans bound backstops it.
+const maxImportedGCSpans = 64
+
+func importGCSpans(tr *obs.Trace, simID obs.SpanID, rec *telemetry.Recorder) {
+	if tr == nil || rec == nil {
+		return
+	}
+	spans := rec.Spans()
+	imported := 0
+	// Telemetry span IDs are indices+1; scan once, mapping each adopted
+	// pause's ID to its obs span so phase children nest under it.
+	adopted := make(map[telemetry.SpanID]obs.SpanID)
+	for i, sp := range spans {
+		id := telemetry.SpanID(i + 1)
+		switch {
+		case sp.Track == telemetry.TrackGC && sp.Parent == 0:
+			if imported >= maxImportedGCSpans {
+				continue
+			}
+			imported++
+			adopted[id] = tr.Span(sp.Name, "sim.gc", simID,
+				time.Duration(sp.Start), sp.Duration.Std(), true,
+				importAttrs(sp.Attrs)...)
+		case sp.Parent != 0:
+			parent, ok := adopted[sp.Parent]
+			if !ok {
+				continue
+			}
+			tr.Span(sp.Name, "sim.gc", parent,
+				time.Duration(sp.Start), sp.Duration.Std(), true,
+				importAttrs(sp.Attrs)...)
+		}
+	}
+}
+
+// importAttrs converts telemetry attributes to trace attributes.
+func importAttrs(attrs []telemetry.Attr) []obs.Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]obs.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = obs.Attr{Key: a.Key, Str: a.Str, Num: a.Num, IsNum: a.IsNum}
+	}
+	return out
 }
 
 // finish moves a job to its terminal status exactly once.
@@ -517,12 +643,21 @@ func (s *Server) finish(j *Job, bytes []byte, err error) {
 		}
 		// Job latency lands on the "labd" track; /metrics summarizes the
 		// span durations as jvmgc_labd_job_latency_seconds and streams
-		// them into the bounded latency histogram.
+		// them into the bounded latency histogram. A traced job leaves
+		// its trace ID as the bucket's exemplar, so the histogram's tail
+		// points at the trace that put a request there.
 		elapsed := time.Since(j.enqueued)
 		s.rec.Span("labd", kind, 0, simtime.FromStd(elapsed), 0)
+		now := time.Now()
 		s.histMu.Lock()
-		s.latHist.Record(elapsed.Seconds())
+		if id := j.trace.ID(); !id.IsZero() {
+			s.latEx.Observe(elapsed.Seconds(), id.String(), float64(now.UnixNano())/1e9)
+		} else {
+			s.latHist.Record(elapsed.Seconds())
+		}
 		s.histMu.Unlock()
+		s.slo.Observe(elapsed, err != nil)
+		j.trace.Finish(err)
 		j.cancel()
 		close(j.done)
 	})
@@ -549,6 +684,9 @@ func (s *Server) DiskCacheEntries() int {
 // Recorder exposes the daemon's telemetry recorder (counters and job
 // latency spans).
 func (s *Server) Recorder() *telemetry.Recorder { return s.rec }
+
+// Tracer exposes the daemon's request tracer; nil when tracing is off.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Drain stops intake and waits for queued and running jobs to finish.
 // When ctx expires first, outstanding jobs are canceled and Drain waits

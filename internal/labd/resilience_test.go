@@ -119,7 +119,7 @@ func TestDeadlinePropagation(t *testing.T) {
 func TestExpiredDeadlineNeverSimulates(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := runSpec(ctx, JobSpec{Kind: KindSimulate}, 1); !errors.Is(err, context.Canceled) {
+	if _, err := runSpec(ctx, JobSpec{Kind: KindSimulate}, 1, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("runSpec on dead context = %v, want context.Canceled", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"jvmgc"
 	"jvmgc/internal/core"
+	"jvmgc/internal/telemetry"
 )
 
 // JobResult is the body of a completed job: the normalized spec it
@@ -60,7 +61,12 @@ func marshalResult(res *JobResult) ([]byte, error) {
 // calls are uninterruptible once started — the scheduler's watcher fails
 // the job at its deadline and the completed work still lands in the
 // cache.
-func runSpec(ctx context.Context, spec JobSpec, parallelism int) (*JobResult, error) {
+//
+// rec, when non-nil, is attached as the simulation's flight recorder
+// (simulate kind only — the other kinds run their own recorders or none)
+// so the caller can observe GC pause spans. Attaching it never changes
+// the result: recording is read-only with respect to simulation state.
+func runSpec(ctx context.Context, spec JobSpec, parallelism int, rec *telemetry.Recorder) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -76,6 +82,7 @@ func runSpec(ctx context.Context, spec JobSpec, parallelism int) (*JobResult, er
 			Threads:          spec.Threads,
 			AllocBytesPerSec: spec.AllocBytesPerSec,
 			Seed:             spec.Seed,
+			Recorder:         rec,
 		}, simDur)
 		if err != nil {
 			return nil, err

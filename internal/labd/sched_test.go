@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"jvmgc/internal/telemetry"
 )
 
 // stubServer builds a daemon whose runner is replaced by fn, so
@@ -16,7 +18,9 @@ func stubServer(t *testing.T, cfg Config, fn func(ctx context.Context, spec JobS
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.runSpec = fn
+	s.runSpec = func(ctx context.Context, spec JobSpec, parallelism int, _ *telemetry.Recorder) (*JobResult, error) {
+		return fn(ctx, spec, parallelism)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -173,7 +177,7 @@ func TestDrainRejectsAndFinishes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.runSpec = func(_ context.Context, spec JobSpec, _ int) (*JobResult, error) {
+	s.runSpec = func(_ context.Context, spec JobSpec, _ int, _ *telemetry.Recorder) (*JobResult, error) {
 		time.Sleep(10 * time.Millisecond)
 		return &JobResult{Kind: spec.Kind, Spec: spec}, nil
 	}

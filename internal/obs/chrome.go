@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export of a single request trace, loadable in
+// Perfetto. Wall-clock spans render as one process with a thread per
+// track; simulation spans (flight-recorder GC pauses adopted by the
+// simulate span) render as a second process, because their timestamps
+// are simulated time on an unrelated clock — Perfetto shows both
+// timelines side by side without pretending they share an origin.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	wallPid = 1
+	simPid  = 2
+)
+
+// WriteChromeTrace renders one trace as Chrome trace-event JSON. Output
+// is deterministic for a given trace: threads are numbered in span
+// order and map keys marshal sorted.
+func WriteChromeTrace(w io.Writer, td *TraceData) error {
+	var events []chromeEvent
+	meta := func(pid int, name string) {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(wallPid, "labd request "+td.ID.String())
+
+	// Root span on its own thread.
+	events = append(events, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: wallPid, Tid: 1,
+		Args: map[string]any{"name": "request"},
+	})
+	rootArgs := map[string]any{"trace_id": td.ID.String(), "status": td.Status}
+	for _, a := range td.Attrs {
+		if a.IsNum {
+			rootArgs[a.Key] = a.Num
+		} else {
+			rootArgs[a.Key] = a.Str
+		}
+	}
+	events = append(events, chromeEvent{
+		Name: td.Name, Ph: "X", Pid: wallPid, Tid: 1,
+		Ts: 0, Dur: td.Duration.Seconds() * 1e6, Cat: "request", Args: rootArgs,
+	})
+
+	tids := map[string]int{"request": 1}
+	simMeta := false
+	for _, s := range td.Spans {
+		pid := wallPid
+		if s.Sim && !simMeta {
+			simMeta = true
+			meta(simPid, "simulation (simulated time)")
+		}
+		if s.Sim {
+			pid = simPid
+		}
+		tid, ok := tids[s.Track]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Track] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": s.Track},
+			})
+		}
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X", Pid: pid, Tid: tid,
+			Ts:  s.Start.Seconds() * 1e6,
+			Dur: s.Duration.Seconds() * 1e6,
+			Cat: s.Track,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				if a.IsNum {
+					ev.Args[a.Key] = a.Num
+				} else {
+					ev.Args[a.Key] = a.Str
+				}
+			}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}); err != nil {
+		return fmt.Errorf("obs: chrome trace export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace. A nil trace is carried as
+// nil, so FromContext stays a no-op downstream.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil — and nil is a
+// valid disabled trace, so callers never branch.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

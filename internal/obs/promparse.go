@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-format reader — just enough for cmd/gctop to
+// scrape a labd /metrics page and for tests to assert on exposition
+// bodies without regexp soup. It parses sample lines (name, label set,
+// value), skips comments, and tolerates OpenMetrics exemplar suffixes.
+
+// MetricPoint is one parsed sample line.
+type MetricPoint struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePromText parses every well-formed sample line of a text-format
+// exposition body. Malformed lines are skipped, not fatal: a scraper
+// must survive a page it half-understands.
+func ParsePromText(body string) []MetricPoint {
+	var out []MetricPoint
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Strip an OpenMetrics exemplar suffix: " # {...} v ts".
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		p, ok := parseSample(line)
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSample(line string) (MetricPoint, bool) {
+	var p MetricPoint
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		p.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return p, false
+		}
+		labels, ok := parseLabels(rest[i+1 : end])
+		if !ok {
+			return p, false
+		}
+		p.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return p, false
+		}
+		p.Name = fields[0]
+		rest = fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return p, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return p, false
+	}
+	p.Value = v
+	return p, p.Name != ""
+}
+
+// parseLabels parses `k="v",k2="v2"` honoring the text-format escapes
+// (\\, \", \n) inside values.
+func parseLabels(s string) (map[string]string, bool) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		name := strings.TrimSpace(s[:eq])
+		var b strings.Builder
+		i := eq + 2
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, false
+		}
+		labels[name] = b.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s[i:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, true
+}
+
+// Metric returns the value of the first point matching name and every
+// given label pair ("k", "v", "k2", "v2", ...).
+func Metric(points []MetricPoint, name string, labelPairs ...string) (float64, bool) {
+	for _, p := range points {
+		if p.Name != name {
+			continue
+		}
+		match := true
+		for i := 0; i+1 < len(labelPairs); i += 2 {
+			if p.Labels[labelPairs[i]] != labelPairs[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParsePromText(t *testing.T) {
+	body := `# HELP jvmgc_labd_jobs_total Jobs.
+# TYPE jvmgc_labd_jobs_total counter
+jvmgc_labd_jobs_total 42
+jvmgc_labd_cache{tier="memory"} 7
+jvmgc_labd_cache{tier="disk",state="warm"} 3
+jvmgc_labd_lat_bucket{le="0.5"} 12 # {trace_id="abc123"} 0.31 1.7e9
+weird{path="C:\\temp\\\"q\"\nx"} 1
+jvmgc_negative -3.5
+jvmgc_sci 1.5e-3
+
+this is not a metric line
+broken{unclosed="v 1
+`
+	pts := ParsePromText(body)
+
+	if v, ok := Metric(pts, "jvmgc_labd_jobs_total"); !ok || v != 42 {
+		t.Errorf("jobs_total = %v ok=%v", v, ok)
+	}
+	if v, ok := Metric(pts, "jvmgc_labd_cache", "tier", "memory"); !ok || v != 7 {
+		t.Errorf("cache memory = %v ok=%v", v, ok)
+	}
+	if v, ok := Metric(pts, "jvmgc_labd_cache", "tier", "disk", "state", "warm"); !ok || v != 3 {
+		t.Errorf("cache disk = %v ok=%v", v, ok)
+	}
+	// Exemplar suffix must be stripped, value kept.
+	if v, ok := Metric(pts, "jvmgc_labd_lat_bucket", "le", "0.5"); !ok || v != 12 {
+		t.Errorf("bucket with exemplar = %v ok=%v", v, ok)
+	}
+	// Escapes round-trip back to the raw string.
+	if v, ok := Metric(pts, "weird", "path", "C:\\temp\\\"q\"\nx"); !ok || v != 1 {
+		t.Errorf("escaped label = %v ok=%v", v, ok)
+	}
+	if v, ok := Metric(pts, "jvmgc_negative"); !ok || v != -3.5 {
+		t.Errorf("negative = %v ok=%v", v, ok)
+	}
+	if v, ok := Metric(pts, "jvmgc_sci"); !ok || v != 1.5e-3 {
+		t.Errorf("scientific = %v ok=%v", v, ok)
+	}
+	// Malformed lines must be skipped, not parsed.
+	if _, ok := Metric(pts, "this"); ok {
+		t.Error("prose line parsed as a metric")
+	}
+	if _, ok := Metric(pts, "broken"); ok {
+		t.Error("unclosed label value parsed")
+	}
+	// Label mismatch misses.
+	if _, ok := Metric(pts, "jvmgc_labd_cache", "tier", "nope"); ok {
+		t.Error("label mismatch matched")
+	}
+}
+
+func TestReadRuntimeSample(t *testing.T) {
+	// Heap accounting in runtime/metrics is published at GC mark
+	// termination; force a cycle so a fresh test binary has real numbers.
+	runtime.GC()
+	s := ReadRuntimeSample()
+	if s.HeapObjectsBytes <= 0 {
+		t.Errorf("heap objects = %v, want > 0", s.HeapObjectsBytes)
+	}
+	if s.Goroutines < 1 {
+		t.Errorf("goroutines = %v, want >= 1", s.Goroutines)
+	}
+	if s.PauseP50 < 0 || s.PauseP99 < s.PauseP50 || s.PauseMax < 0 {
+		t.Errorf("pause quantiles inconsistent: %+v", s)
+	}
+}

@@ -1,0 +1,466 @@
+// Package obs is the laboratory's service observability layer:
+// request-scoped distributed tracing, an SLO burn-rate monitor, and the
+// glue that lets both ride the existing telemetry/Prometheus surfaces.
+//
+// The paper's whole methodology is reading instrumentation off a running
+// system; internal/telemetry reproduced that for the simulated JVM. This
+// package does the same for the service around it (internal/labd): a
+// trace follows one request from the client's traceparent header through
+// the daemon's cache lookup, queue wait and sweep worker into the
+// simulation itself — the simulate span adopts the flight recorder's GC
+// pause spans as children, so one trace shows the whole causal chain
+// from HTTP edge to safepoint.
+//
+// Contracts, mirroring telemetry:
+//
+//   - A nil *Tracer and a nil *Trace are valid disabled instances; every
+//     method is a no-op costing one nil check, so untraced hot paths pay
+//     nothing.
+//   - Recording a trace never perturbs simulation results: span capture
+//     is read-only with respect to simulation state, and the flight
+//     recorder it links to carries the same guarantee (byte-identical
+//     result digests with tracing on or off).
+//   - Completed traces land in a bounded Store (ring buffer plus
+//     slowest-K retention); memory never grows with traffic.
+package obs
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-context trace ID: 16 bytes, hex-rendered.
+type TraceID [16]byte
+
+// SpanID is a W3C trace-context span ID: 8 bytes, hex-rendered.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the all-zero (invalid) ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the all-zero (invalid) ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// IDs render as hex strings in JSON (the wire and debug-endpoint form),
+// not as byte arrays.
+
+func (t TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+func (s SpanID) MarshalJSON() ([]byte, error)  { return json.Marshal(s.String()) }
+
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	if len(str) != 32 {
+		return fmt.Errorf("obs: trace id %q: want 32 hex digits", str)
+	}
+	_, err := hex.Decode(t[:], []byte(str))
+	return err
+}
+
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	if len(str) != 16 {
+		return fmt.Errorf("obs: span id %q: want 16 hex digits", str)
+	}
+	_, err := hex.Decode(s[:], []byte(str))
+	return err
+}
+
+// ParseTraceID decodes a 32-hex-digit trace ID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return t, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	if t.IsZero() {
+		return t, fmt.Errorf("obs: trace id %q is the invalid all-zero id", s)
+	}
+	return t, nil
+}
+
+// Traceparent renders the W3C traceparent header for a trace/span pair:
+// version 00, sampled flag set.
+func Traceparent(t TraceID, s SpanID) string {
+	return "00-" + t.String() + "-" + s.String() + "-01"
+}
+
+// ParseTraceparent decodes a version-00 traceparent header. ok is false
+// for anything malformed or carrying the invalid all-zero IDs.
+func ParseTraceparent(h string) (t TraceID, s SpanID, ok bool) {
+	// 00-<32 hex>-<16 hex>-<2 hex>
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' ||
+		h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, s, false
+	}
+	if _, err := hex.Decode(t[:], []byte(h[3:35])); err != nil {
+		return t, s, false
+	}
+	if _, err := hex.Decode(s[:], []byte(h[36:52])); err != nil {
+		return t, s, false
+	}
+	if t.IsZero() || s.IsZero() {
+		return t, s, false
+	}
+	return t, s, true
+}
+
+// IDGen mints trace and span IDs from a splitmix64 stream. It is safe
+// for concurrent use; a fixed seed yields a reproducible ID sequence
+// (tests), seed 0 derives one from the wall clock.
+type IDGen struct {
+	state atomic.Uint64
+}
+
+// NewIDGen returns a generator. Seed 0 selects a time-derived seed.
+func NewIDGen(seed uint64) *IDGen {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	g := &IDGen{}
+	g.state.Store(seed)
+	return g
+}
+
+// next returns the next non-zero 64-bit value of the stream.
+func (g *IDGen) next() uint64 {
+	for {
+		x := g.state.Add(0x9e3779b97f4a7c15)
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// TraceID mints a fresh trace ID.
+func (g *IDGen) TraceID() TraceID {
+	var t TraceID
+	putUint64(t[:8], g.next())
+	putUint64(t[8:], g.next())
+	return t
+}
+
+// SpanID mints a fresh span ID.
+func (g *IDGen) SpanID() SpanID {
+	var s SpanID
+	putUint64(s[:], g.next())
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// Attr is one key/value attribute on a span (string or numeric),
+// mirroring telemetry.Attr.
+type Attr struct {
+	Key   string  `json:"key"`
+	Str   string  `json:"str,omitempty"`
+	Num   float64 `json:"num,omitempty"`
+	IsNum bool    `json:"is_num,omitempty"`
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Str: value} }
+
+// Num builds a numeric attribute.
+func Num(key string, value float64) Attr { return Attr{Key: key, Num: value, IsNum: true} }
+
+// Span is one completed interval of a trace. Wall-clock spans carry
+// offsets from the trace's start; simulation spans (Sim true) carry
+// simulated-time offsets from the simulation's own origin — the two
+// clocks are unrelated, which is why the flag exists.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	// Name labels the operation ("queue.wait", "simulate", "GC (young)").
+	Name string `json:"name"`
+	// Track groups spans into display rows ("request", "sched", "sim.gc").
+	Track string `json:"track"`
+	// Start is the offset from the trace start (wall spans) or from the
+	// simulation origin (sim spans).
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	// Sim marks flight-recorder spans measured in simulated time.
+	Sim   bool   `json:"sim,omitempty"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the named attribute and whether it exists.
+func (s Span) Attr(key string) (Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Config parameterizes a Tracer. Zero values select the defaults.
+type Config struct {
+	// Capacity bounds the completed-trace ring buffer (default 256).
+	Capacity int
+	// SlowestK traces are retained beyond ring eviction (default 16).
+	SlowestK int
+	// MaxSpans bounds the spans captured per trace; past it spans are
+	// dropped and counted (default 512).
+	MaxSpans int
+	// Seed fixes the ID stream for reproducible tests (0 = from clock).
+	Seed uint64
+	// Now is the wall clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.SlowestK <= 0 {
+		c.SlowestK = 16
+	}
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = 512
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Tracer mints traces and owns the store of completed ones. A nil
+// *Tracer is a valid disabled tracer: StartTrace returns a nil *Trace
+// whose methods are all no-ops.
+type Tracer struct {
+	cfg   Config
+	ids   *IDGen
+	store *Store
+}
+
+// NewTracer builds a tracer.
+func NewTracer(cfg Config) *Tracer {
+	cfg = cfg.withDefaults()
+	return &Tracer{
+		cfg:   cfg,
+		ids:   NewIDGen(cfg.Seed),
+		store: newStore(cfg.Capacity, cfg.SlowestK),
+	}
+}
+
+// Enabled reports whether the tracer records anything (false on nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Store returns the completed-trace store (nil on a nil tracer).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// StartTrace begins a trace named name. A zero tid mints a fresh trace
+// ID; a non-zero tid (from an inbound traceparent) adopts the caller's
+// identity, and remoteParent becomes the root span's parent so the
+// emitted trace links under the client's span. Returns nil on a nil
+// tracer.
+func (t *Tracer) StartTrace(name string, tid TraceID, remoteParent SpanID) *Trace {
+	if t == nil {
+		return nil
+	}
+	if tid.IsZero() {
+		tid = t.ids.TraceID()
+	}
+	tr := &Trace{
+		tracer: t,
+		start:  t.cfg.Now(),
+		data: TraceData{
+			ID:         tid,
+			Name:       name,
+			Root:       t.ids.SpanID(),
+			RemoteSpan: remoteParent,
+		},
+	}
+	tr.data.Start = tr.start
+	return tr
+}
+
+// TraceData is the immutable record of a completed trace.
+type TraceData struct {
+	ID   TraceID `json:"-"`
+	Name string  `json:"name"`
+	// Root is the root span's ID; RemoteSpan the inbound parent (zero
+	// when the trace was minted locally).
+	Root       SpanID        `json:"root"`
+	RemoteSpan SpanID        `json:"remote_span,omitempty"`
+	Start      time.Time     `json:"start"`
+	Duration   time.Duration `json:"duration_ns"`
+	Status     string        `json:"status"` // "ok" | "error"
+	Error      string        `json:"error,omitempty"`
+	// Spans holds every captured span except the root (which is
+	// synthesized from Name/Duration); Dropped counts spans past the
+	// per-trace bound.
+	Spans   []Span `json:"spans"`
+	Dropped int    `json:"dropped,omitempty"`
+	// Attrs annotate the root span (job kind, cache disposition, ...).
+	Attrs []Attr `json:"attrs,omitempty"`
+
+	// retention bookkeeping, guarded by the owning store's mutex.
+	inRing, inSlow bool
+}
+
+// Trace is one in-flight trace being assembled. All methods are nil-safe
+// no-ops, so call sites carry no conditionals. A Trace is safe for
+// concurrent use (the daemon touches it from the HTTP goroutine, the
+// scheduler watcher and the executing worker).
+type Trace struct {
+	tracer *Tracer
+	start  time.Time
+
+	mu       sync.Mutex
+	data     TraceData
+	finished bool
+}
+
+// ID returns the trace's identity (zero on nil).
+func (tr *Trace) ID() TraceID {
+	if tr == nil {
+		return TraceID{}
+	}
+	return tr.data.ID
+}
+
+// Root returns the root span's ID (zero on nil).
+func (tr *Trace) Root() SpanID {
+	if tr == nil {
+		return SpanID{}
+	}
+	return tr.data.Root
+}
+
+// Annotate adds attributes to the root span.
+func (tr *Trace) Annotate(attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if !tr.finished {
+		tr.data.Attrs = append(tr.data.Attrs, attrs...)
+	}
+	tr.mu.Unlock()
+}
+
+// add appends one span under the per-trace bound. Caller built the span
+// except for its ID, which is assigned here.
+func (tr *Trace) add(s Span) SpanID {
+	if tr == nil {
+		return SpanID{}
+	}
+	s.ID = tr.tracer.ids.SpanID()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.finished || len(tr.data.Spans) >= tr.tracer.cfg.MaxSpans {
+		tr.data.Dropped++
+		return SpanID{}
+	}
+	tr.data.Spans = append(tr.data.Spans, s)
+	return s.ID
+}
+
+// Span records a completed span with explicit offsets (wall time when
+// sim is false, simulated time when true). A zero parent attaches the
+// span to the root.
+func (tr *Trace) Span(name, track string, parent SpanID, start, d time.Duration, sim bool, attrs ...Attr) SpanID {
+	if tr == nil {
+		return SpanID{}
+	}
+	if parent.IsZero() {
+		parent = tr.data.Root
+	}
+	return tr.add(Span{
+		Parent: parent, Name: name, Track: track,
+		Start: start, Duration: d, Sim: sim, Attrs: attrs,
+	})
+}
+
+// SpanBetween records a wall-clock span from begin to end, offset
+// against the trace start.
+func (tr *Trace) SpanBetween(name, track string, parent SpanID, begin, end time.Time, attrs ...Attr) SpanID {
+	if tr == nil {
+		return SpanID{}
+	}
+	return tr.Span(name, track, parent, begin.Sub(tr.start), end.Sub(begin), false, attrs...)
+}
+
+// ActiveSpan is an open wall-clock span; End records it.
+type ActiveSpan struct {
+	tr     *Trace
+	name   string
+	track  string
+	parent SpanID
+	begin  time.Time
+	attrs  []Attr
+}
+
+// StartSpan opens a wall-clock span beginning now.
+func (tr *Trace) StartSpan(name, track string, parent SpanID, attrs ...Attr) ActiveSpan {
+	if tr == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{
+		tr: tr, name: name, track: track, parent: parent,
+		begin: tr.tracer.cfg.Now(), attrs: attrs,
+	}
+}
+
+// End records the span with its measured duration plus any extra
+// attributes, returning its ID (zero on a disabled trace).
+func (a ActiveSpan) End(extra ...Attr) SpanID {
+	if a.tr == nil {
+		return SpanID{}
+	}
+	return a.tr.SpanBetween(a.name, a.track, a.parent,
+		a.begin, a.tr.tracer.cfg.Now(), append(a.attrs, extra...)...)
+}
+
+// Finish completes the trace: the root duration is fixed, the status set
+// from err, and the snapshot handed to the tracer's store. Finish is
+// idempotent; only the first call takes effect.
+func (tr *Trace) Finish(err error) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	tr.finished = true
+	tr.data.Duration = tr.tracer.cfg.Now().Sub(tr.start)
+	if err != nil {
+		tr.data.Status = "error"
+		tr.data.Error = err.Error()
+	} else {
+		tr.data.Status = "ok"
+	}
+	snapshot := tr.data
+	tr.mu.Unlock()
+	tr.tracer.store.add(&snapshot)
+}

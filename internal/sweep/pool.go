@@ -53,13 +53,13 @@ type Pool struct {
 // (oldest), thieves pop the back (newest). The pool's single mutex
 // guards it; service jobs are seconds-long, so queue ops are noise.
 type poolDeque struct {
-	buf  []func()
+	buf  []func(int)
 	head int
 }
 
-func (d *poolDeque) push(t func()) { d.buf = append(d.buf, t) }
+func (d *poolDeque) push(t func(int)) { d.buf = append(d.buf, t) }
 
-func (d *poolDeque) popFront() (func(), bool) {
+func (d *poolDeque) popFront() (func(int), bool) {
 	if d.head >= len(d.buf) {
 		return nil, false
 	}
@@ -73,7 +73,7 @@ func (d *poolDeque) popFront() (func(), bool) {
 	return t, true
 }
 
-func (d *poolDeque) popBack() (func(), bool) {
+func (d *poolDeque) popBack() (func(int), bool) {
 	if d.head >= len(d.buf) {
 		return nil, false
 	}
@@ -108,6 +108,14 @@ func NewPool(opts PoolOptions) *Pool {
 // Submit queues one task. It never blocks: a backlog at QueueLimit
 // returns ErrPoolFull (backpressure), a closed pool ErrPoolClosed.
 func (p *Pool) Submit(task func()) error {
+	return p.SubmitWorker(func(int) { task() })
+}
+
+// SubmitWorker queues a task that receives the index of the worker
+// executing it (0..Workers()-1). Because of stealing, the executor may
+// not be the worker the task was dealt to — the index identifies who
+// actually ran it, which is what an observability layer wants to record.
+func (p *Pool) SubmitWorker(task func(worker int)) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -160,7 +168,7 @@ func (p *Pool) worker(self int, rng stealRng) {
 		if ok {
 			p.pending--
 			p.mu.Unlock()
-			task()
+			task(self)
 			p.mu.Lock()
 			continue
 		}
@@ -175,7 +183,7 @@ func (p *Pool) worker(self int, rng stealRng) {
 // stealLocked scans the other deques in a seeded rotation and takes
 // the newest task from the first victim with a backlog. Caller holds
 // p.mu.
-func (p *Pool) stealLocked(self int, rng *stealRng) (func(), bool) {
+func (p *Pool) stealLocked(self int, rng *stealRng) (func(int), bool) {
 	w := len(p.deques)
 	if w == 1 {
 		return nil, false

@@ -166,6 +166,47 @@ func TestPoolRunsAll(t *testing.T) {
 	p.Wait()
 }
 
+// TestPoolSubmitWorker checks that worker-aware tasks receive the index
+// of the worker that actually executed them — every index in range, and
+// with more tasks than workers, more than one worker observed.
+func TestPoolSubmitWorker(t *testing.T) {
+	const workers = 4
+	p := NewPool(PoolOptions{Workers: workers, QueueLimit: 256})
+	var mu sync.Mutex
+	seen := map[int]int{}
+	release := make(chan struct{})
+	var started, wg sync.WaitGroup
+	// One blocking task per worker forces every worker to execute
+	// something concurrently, so all indices are observed.
+	started.Add(workers)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		if err := p.SubmitWorker(func(w int) {
+			mu.Lock()
+			seen[w]++
+			mu.Unlock()
+			started.Done()
+			<-release
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+	p.Close()
+	p.Wait()
+	if len(seen) != workers {
+		t.Fatalf("saw %d distinct worker indices, want %d (%v)", len(seen), workers, seen)
+	}
+	for w := range seen {
+		if w < 0 || w >= workers {
+			t.Fatalf("worker index %d out of range [0,%d)", w, workers)
+		}
+	}
+}
+
 // TestPoolBackpressure fills the pool past its queue limit and expects
 // ErrPoolFull, with Pending counting only queued (unclaimed) tasks.
 func TestPoolBackpressure(t *testing.T) {

@@ -19,9 +19,13 @@ const promPrefix = "jvmgc_"
 
 type promFamily struct {
 	name  string // without prefix
-	typ   string // counter | gauge | summary
+	typ   string // counter | gauge | summary | histogram
 	help  string
 	lines []string // fully rendered sample lines
+	// ex holds per-line OpenMetrics exemplar suffixes (empty = none);
+	// when non-nil it is aligned with lines and only rendered in
+	// OpenMetrics mode.
+	ex []string
 }
 
 // WritePrometheus renders the recording in Prometheus text format.

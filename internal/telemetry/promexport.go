@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"jvmgc/internal/hdrhist"
 	"jvmgc/internal/stats"
@@ -20,7 +21,69 @@ import (
 // same data renders byte-identically. All metric names share the jvmgc_
 // prefix.
 type PromSnapshot struct {
+	// OpenMetrics switches Write to OpenMetrics rendering: histogram
+	// bucket lines carry their exemplars (trace correlation handles)
+	// and the body terminates with the mandatory "# EOF" marker.
+	// Classic Prometheus text format (the default) omits both —
+	// exemplars are only legal in OpenMetrics.
+	OpenMetrics bool
+
 	fams []promFamily
+}
+
+// Label is one name/value label pair on a metric sample.
+type Label struct {
+	Name, Value string
+}
+
+// LabeledValue is one sample of a labeled metric family.
+type LabeledValue struct {
+	Labels []Label
+	Value  float64
+}
+
+// escapeLabel maps a label value onto the Prometheus text-format
+// escaping rules: backslash, double quote and newline are escaped; all
+// other bytes pass through verbatim.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders a {name="value",...} block with escaped values
+// and sanitized names. Empty input renders to the empty string.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeMetric(l.Name))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Counter appends a single-sample counter family. The name is sanitized
@@ -50,6 +113,22 @@ func (s *PromSnapshot) Gauge(name, help string, value float64) {
 	})
 }
 
+// LabeledGauge appends a gauge family with one sample per labeled row.
+// Label values are escaped per the text-format rules (see escapeLabel),
+// so callers may pass arbitrary strings. Empty input appends nothing.
+func (s *PromSnapshot) LabeledGauge(name, help string, rows []LabeledValue) {
+	if len(rows) == 0 {
+		return
+	}
+	n := sanitizeMetric(name)
+	f := promFamily{name: n, typ: "gauge", help: help}
+	for _, r := range rows {
+		f.lines = append(f.lines, fmt.Sprintf("%s%s%s %g",
+			promPrefix, n, renderLabels(r.Labels), r.Value))
+	}
+	s.fams = append(s.fams, f)
+}
+
 // Summary appends a summary family with p50/p95/p99 quantiles plus _sum
 // and _count, computed over the observations. Empty input appends
 // nothing.
@@ -64,6 +143,16 @@ func (s *PromSnapshot) Summary(name, help string, observations []float64) {
 // (upper bound = bucket high edge) plus the +Inf bucket, _sum and
 // _count. A nil or empty histogram appends nothing.
 func (s *PromSnapshot) Histogram(name, help string, h *hdrhist.Hist) {
+	s.HistogramExemplars(name, help, h, nil)
+}
+
+// HistogramExemplars is Histogram with per-bucket exemplars: when the
+// snapshot renders in OpenMetrics mode, each bucket line whose bucket
+// retains an exemplar gains a "# {trace_id=...} value ts" suffix, so an
+// operator can jump from a latency bucket straight to the trace that
+// landed in it. In classic text format the exemplars are withheld (the
+// format does not admit them). ex may be nil.
+func (s *PromSnapshot) HistogramExemplars(name, help string, h *hdrhist.Hist, ex *hdrhist.Exemplars) {
 	if h == nil || h.Count() == 0 {
 		return
 	}
@@ -74,11 +163,18 @@ func (s *PromSnapshot) Histogram(name, help string, h *hdrhist.Hist) {
 		cum += b.Count
 		f.lines = append(f.lines, fmt.Sprintf("%s%s_bucket{le=\"%g\"} %d",
 			promPrefix, n, b.High, cum))
+		suffix := ""
+		if e, ok := ex.For(b.Index); ok {
+			suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %g %g",
+				escapeLabel(e.Label), e.Value, e.TS)
+		}
+		f.ex = append(f.ex, suffix)
 	})
 	f.lines = append(f.lines,
 		fmt.Sprintf("%s%s_bucket{le=\"+Inf\"} %d", promPrefix, n, h.Count()),
 		fmt.Sprintf("%s%s_sum %g", promPrefix, n, h.Sum()),
 		fmt.Sprintf("%s%s_count %d", promPrefix, n, h.Count()))
+	f.ex = append(f.ex, "", "", "")
 	s.fams = append(s.fams, f)
 }
 
@@ -96,7 +192,9 @@ func (s *PromSnapshot) family(f promFamily) {
 	s.fams = append(s.fams, f)
 }
 
-// Write renders the snapshot, families in sorted name order.
+// Write renders the snapshot, families in sorted name order. In
+// OpenMetrics mode bucket exemplars are appended to their sample lines
+// and the body ends with the mandatory "# EOF" terminator.
 func (s *PromSnapshot) Write(w io.Writer) error {
 	sort.SliceStable(s.fams, func(i, j int) bool { return s.fams[i].name < s.fams[j].name })
 	for _, f := range s.fams {
@@ -104,10 +202,18 @@ func (s *PromSnapshot) Write(w io.Writer) error {
 			promPrefix, f.name, f.help, promPrefix, f.name, f.typ); err != nil {
 			return err
 		}
-		for _, line := range f.lines {
+		for i, line := range f.lines {
+			if s.OpenMetrics && i < len(f.ex) {
+				line += f.ex[i]
+			}
 			if _, err := fmt.Fprintln(w, line); err != nil {
 				return err
 			}
+		}
+	}
+	if s.OpenMetrics {
+		if _, err := fmt.Fprintln(w, "# EOF"); err != nil {
+			return err
 		}
 	}
 	return nil
