@@ -27,6 +27,11 @@ go test -race -count=1 ./internal/sweep/
 # handler, the scheduler watcher and the executing worker, and the
 # chaos variant drives that concurrently with injected faults.
 go test -race -count=1 -run 'TestEndToEndTracing|TestEndToEndTraceCacheDispositions|TestEndToEndTraceChaos' ./internal/labd/
+# Fleet chaos e2e under the race detector: a 3-node fleet loses a node
+# mid-batch (injected kill), the router re-routes the dead shard, and
+# results must be byte-identical to a single-node run; plus the peer
+# cache tier and the exact-aggregation rollup.
+go test -race -count=1 -run 'TestFleetChaosNodeKillByteIdentity|TestFleetPeerCacheHit|TestFleetExactAggregation' ./internal/fleet/
 go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint|BenchmarkNoopTracePoint' -benchtime=1x ./...
 
 # bench-gate: re-measure the kernel-bound artifact benchmarks (without
@@ -39,5 +44,6 @@ go build -o /tmp/benchdiff ./cmd/benchdiff
   go test -run=NONE -bench 'BenchmarkScheduleFire|BenchmarkScheduleCancel' -benchmem -count=2 ./internal/event/
   go test -run=NONE -bench 'BenchmarkHDRRecord|BenchmarkHDRQuantile' -benchmem -count=2 ./internal/hdrhist/
   go test -run=NONE -bench 'BenchmarkSweepImbalance|BenchmarkFIFOImbalance' -benchmem -count=2 ./internal/sweep/
+  go test -run=NONE -bench 'BenchmarkRingLookup|BenchmarkRouterPick' -benchmem -count=2 ./internal/fleet/
 } > /tmp/bench_current.txt
 /tmp/benchdiff -in /tmp/bench_current.txt -out /tmp/BENCH_current.json -baseline BENCH_baseline.json

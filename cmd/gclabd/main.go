@@ -14,6 +14,17 @@
 //	curl -s localhost:8372/metrics
 //	curl -s localhost:8372/healthz
 //
+// Fleet mode shards the daemon across nodes (internal/fleet): every
+// node runs the same command with the same -peers membership and its
+// own -fleet identity, and any node accepts any job — placement is by
+// consistent hash of the job's content address, the cache gains a peer
+// tier, and /fleet/* serves the fleet-wide observability rollup:
+//
+//	gclabd -addr :8372 -fleet a -peers a=http://h1:8372,b=http://h2:8372,c=http://h3:8372
+//
+// -peers without -fleet runs a standalone router: no local daemon, jobs
+// are only forwarded.
+//
 // SIGTERM/SIGINT drain gracefully: intake stops (healthz flips to
 // draining), queued and running jobs finish, then the process exits.
 package main
@@ -26,13 +37,35 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"jvmgc/internal/faultinject"
+	"jvmgc/internal/fleet"
 	"jvmgc/internal/labd"
 	"jvmgc/internal/obs"
 )
+
+// parsePeers parses "id=url,id=url" fleet membership.
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("peer %q: want id=url", entry)
+		}
+		out[strings.TrimSpace(id)] = strings.TrimRight(strings.TrimSpace(url), "/")
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no peers in -peers")
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -46,6 +79,11 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "fault-injection seed; a fixed seed replays a chaos campaign")
 		chaosSpec   = flag.String("chaos-spec", "", "fault-injection spec, e.g. 'labd/job.panic:p=0.01;labd/http.flaky:every=50' (empty disables injection)")
+
+		fleetID  = flag.String("fleet", "", "this node's fleet identity; must name an entry in -peers (empty with -peers = standalone router)")
+		peerSpec = flag.String("peers", "", "fleet membership as id=url,id=url,... (empty = standalone daemon, no fleet)")
+		vnodes   = flag.Int("fleet-vnodes", 0, "virtual nodes per fleet member on the placement ring (0 = default 128)")
+		loadFac  = flag.Float64("fleet-load-factor", 1.25, "bounded-load multiplier; a node holds at most ceil(factor x mean pending) routed jobs (<=1 disables the bound)")
 
 		trace      = flag.Bool("trace", true, "request tracing: per-request spans at /debug/traces, exemplars on /metrics")
 		traceCap   = flag.Int("trace-capacity", 256, "completed traces retained in the ring (slowest are kept longer)")
@@ -87,16 +125,65 @@ func main() {
 			ErrorTarget:      *sloErrTgt,
 		})
 	}
-	srv, err := labd.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gclabd:", err)
-		os.Exit(1)
+	// Fleet wiring order matters: the router must exist before the
+	// daemon (it is the daemon's peer cache tier), and the daemon must
+	// attach back to the router (it serves the router's local shard).
+	var router *fleet.Router
+	if *peerSpec != "" {
+		peers, err := parsePeers(*peerSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gclabd:", err)
+			os.Exit(2)
+		}
+		router, err = fleet.New(fleet.Config{
+			Self:       *fleetID,
+			Nodes:      peers,
+			Vnodes:     *vnodes,
+			LoadFactor: *loadFac,
+			Chaos:      chaos,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gclabd:", err)
+			os.Exit(2)
+		}
+		cfg.NodeID = *fleetID
+		if *fleetID != "" {
+			cfg.Peers = router
+		}
+	} else if *fleetID != "" {
+		fmt.Fprintln(os.Stderr, "gclabd: -fleet requires -peers")
+		os.Exit(2)
 	}
-	if *cacheDir != "" {
-		fmt.Fprintf(os.Stderr, "gclabd: disk cache at %s (%d entries warm)\n",
-			*cacheDir, srv.DiskCacheEntries())
+
+	var srv *labd.Server
+	if *peerSpec == "" || *fleetID != "" {
+		var err error
+		srv, err = labd.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gclabd:", err)
+			os.Exit(1)
+		}
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "gclabd: disk cache at %s (%d entries warm)\n",
+				*cacheDir, srv.DiskCacheEntries())
+		}
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	var handler http.Handler
+	switch {
+	case router != nil && srv != nil:
+		router.SetLocal(srv)
+		handler = router.Handler()
+		fmt.Fprintf(os.Stderr, "gclabd: fleet node %q over %d peers\n",
+			*fleetID, router.Ring().Len())
+	case router != nil:
+		handler = router.Handler()
+		fmt.Fprintf(os.Stderr, "gclabd: standalone fleet router over %d nodes\n",
+			router.Ring().Len())
+	default:
+		handler = srv.Handler()
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
@@ -121,9 +208,11 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "gclabd: http shutdown:", err)
 	}
-	if err := srv.Drain(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "gclabd: drain:", err)
-		os.Exit(1)
+	if srv != nil {
+		if err := srv.Drain(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "gclabd: drain:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "gclabd: drained cleanly")
 }

@@ -6,6 +6,13 @@
 //
 //	gctop -addr http://localhost:8372
 //	gctop -addr http://localhost:8372 -once   # one frame, no screen clear
+//	gctop -addr http://localhost:8372 -fleet  # watch the whole fleet
+//
+// With -fleet, gctop polls the fleet rollup instead (/fleet/metrics,
+// /fleet/slo, /fleet/traces, /fleet/nodes via any fleet node): the
+// counters and histograms are exact cross-node aggregates, the slowest
+// traces are the fleet-wide union labeled by node, and a membership
+// panel shows each node's health and queue.
 //
 // gctop is read-only: it only issues GETs, so pointing it at a
 // production daemon perturbs nothing but the /metrics scrape counters.
@@ -48,20 +55,40 @@ type sample struct {
 	slo    obs.Status
 	recent []obs.TraceSummary
 	slow   []obs.TraceSummary
+	nodes  []nodeRow
+}
+
+// nodeRow is one fleet member in the -fleet membership panel.
+type nodeRow struct {
+	ID     string `json:"id"`
+	Alive  bool   `json:"alive"`
+	Health *struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+		Running    int    `json:"running"`
+		Cache      struct {
+			Entries    int   `json:"entries"`
+			MemoryHits int64 `json:"memory_hits"`
+			DiskHits   int64 `json:"disk_hits"`
+			PeerHits   int64 `json:"peer_hits"`
+		} `json:"cache"`
+	} `json:"health"`
 }
 
 // poller fetches daemon state and keeps a bounded history for plots.
 type poller struct {
 	base    string
+	fleet   bool
 	client  *http.Client
 	history []sample
 	keep    int
 }
 
-func newPoller(base string, keep int) *poller {
+func newPoller(base string, keep int, fleet bool) *poller {
 	return &poller{
 		base:   strings.TrimRight(base, "/"),
-		client: &http.Client{Timeout: 5 * time.Second},
+		fleet:  fleet,
+		client: &http.Client{Timeout: 15 * time.Second},
 		keep:   keep,
 	}
 }
@@ -82,11 +109,22 @@ func (p *poller) get(path string) ([]byte, error) {
 	return body, nil
 }
 
+// paths returns the poll endpoints for the current mode: a single
+// daemon's debug surfaces, or the fleet rollup (same metric names, so
+// everything downstream of the parse is mode-blind).
+func (p *poller) paths() (metrics, slo, traces string) {
+	if p.fleet {
+		return "/fleet/metrics", "/fleet/slo", "/fleet/traces"
+	}
+	return "/metrics", "/debug/slo", "/debug/traces"
+}
+
 // poll reads the three debug surfaces into one sample. A daemon with
 // tracing disabled (404 on /debug/slo) still yields a metrics-only view.
 func (p *poller) poll(now time.Time) sample {
+	metricsPath, sloPath, tracesPath := p.paths()
 	s := sample{when: now}
-	body, err := p.get("/metrics")
+	body, err := p.get(metricsPath)
 	if err != nil {
 		s.err = err.Error()
 		p.push(s)
@@ -114,10 +152,10 @@ func (p *poller) poll(now time.Time) sample {
 	s.tracesSeen = read("jvmgc_labd_traces_seen")
 	s.retained = read("jvmgc_labd_traces_retained")
 
-	if body, err := p.get("/debug/slo"); err == nil {
+	if body, err := p.get(sloPath); err == nil {
 		_ = json.Unmarshal(body, &s.slo)
 	}
-	if body, err := p.get("/debug/traces"); err == nil {
+	if body, err := p.get(tracesPath); err == nil {
 		var listing struct {
 			Recent  []obs.TraceSummary `json:"recent"`
 			Slowest []obs.TraceSummary `json:"slowest"`
@@ -125,6 +163,16 @@ func (p *poller) poll(now time.Time) sample {
 		if json.Unmarshal(body, &listing) == nil {
 			s.recent = listing.Recent
 			s.slow = listing.Slowest
+		}
+	}
+	if p.fleet {
+		if body, err := p.get("/fleet/nodes"); err == nil {
+			var listing struct {
+				Nodes []nodeRow `json:"nodes"`
+			}
+			if json.Unmarshal(body, &listing) == nil {
+				s.nodes = listing.Nodes
+			}
 		}
 	}
 	p.push(s)
@@ -157,6 +205,20 @@ func (p *poller) render(s sample) string {
 		(time.Duration(s.uptime) * time.Second).String(), s.workers, s.queueDepth, s.running)
 	fmt.Fprintf(&b, "jobs %.0f submitted   cache %.0f entries, %.0f%% hit rate   traces %.0f seen / %.0f retained\n",
 		s.submitted, s.cacheLen, 100*hitRate, s.tracesSeen, s.retained)
+
+	if len(s.nodes) > 0 {
+		b.WriteString("\nfleet nodes:\n")
+		for _, n := range s.nodes {
+			if n.Health == nil {
+				fmt.Fprintf(&b, "  %-12s DOWN\n", n.ID)
+				continue
+			}
+			h := n.Health
+			fmt.Fprintf(&b, "  %-12s %-8s queue %3d  running %3d  cache %4d (mem %d / disk %d / peer %d hits)\n",
+				n.ID, h.Status, h.QueueDepth, h.Running, h.Cache.Entries,
+				h.Cache.MemoryHits, h.Cache.DiskHits, h.Cache.PeerHits)
+		}
+	}
 
 	// SLO block: severity plus per-window burn multipliers.
 	if s.slo.Severity != "" {
@@ -202,8 +264,7 @@ func (p *poller) render(s sample) string {
 	if len(s.slow) > 0 {
 		b.WriteString("\nslowest traces:\n")
 		for _, tr := range s.slow {
-			fmt.Fprintf(&b, "  %s  %8.1fms  %-5s  %3d spans  %s\n",
-				tr.ID, tr.DurationSeconds*1e3, tr.Status, tr.Spans, tr.Name)
+			b.WriteString(traceLine(tr))
 		}
 	}
 	if len(s.recent) > 0 {
@@ -213,11 +274,21 @@ func (p *poller) render(s sample) string {
 		}
 		b.WriteString("\nrecent traces:\n")
 		for _, tr := range s.recent[:n] {
-			fmt.Fprintf(&b, "  %s  %8.1fms  %-5s  %3d spans  %s\n",
-				tr.ID, tr.DurationSeconds*1e3, tr.Status, tr.Spans, tr.Name)
+			b.WriteString(traceLine(tr))
 		}
 	}
 	return b.String()
+}
+
+// traceLine renders one trace summary row; fleet-merged rows carry the
+// retaining node's label.
+func traceLine(tr obs.TraceSummary) string {
+	line := fmt.Sprintf("  %s  %8.1fms  %-5s  %3d spans  %s",
+		tr.ID, tr.DurationSeconds*1e3, tr.Status, tr.Spans, tr.Name)
+	if tr.Node != "" {
+		line += "  @" + tr.Node
+	}
+	return line + "\n"
 }
 
 func bytesHuman(v float64) string {
@@ -239,10 +310,11 @@ func main() {
 		interval = flag.Duration("interval", 2*time.Second, "poll period")
 		once     = flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
 		history  = flag.Int("history", 120, "poll samples kept for the occupancy plot")
+		fleetTop = flag.Bool("fleet", false, "watch the whole fleet via /fleet/* on any fleet node")
 	)
 	flag.Parse()
 
-	p := newPoller(*addr, *history)
+	p := newPoller(*addr, *history, *fleetTop)
 	if *once {
 		frame := p.render(p.poll(time.Now()))
 		fmt.Print(frame)

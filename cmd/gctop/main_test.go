@@ -70,7 +70,7 @@ func cannedDaemon(t *testing.T) *httptest.Server {
 // occupancy plot (after two samples) and the trace tables.
 func TestRenderFrame(t *testing.T) {
 	ts := cannedDaemon(t)
-	p := newPoller(ts.URL, 16)
+	p := newPoller(ts.URL, 16, false)
 
 	t0 := time.Unix(1700000000, 0)
 	p.poll(t0)
@@ -95,7 +95,7 @@ func TestRenderFrame(t *testing.T) {
 // TestRenderUnreachable: a dead daemon renders an error banner instead
 // of a stale dashboard, and the sample is marked not-ok.
 func TestRenderUnreachable(t *testing.T) {
-	p := newPoller("http://127.0.0.1:1", 4)
+	p := newPoller("http://127.0.0.1:1", 4, false)
 	s := p.poll(time.Unix(1700000000, 0))
 	if s.ok {
 		t.Fatal("unreachable daemon sampled ok")
@@ -109,7 +109,7 @@ func TestRenderUnreachable(t *testing.T) {
 // TestHistoryBound: the poll ring never exceeds its keep bound.
 func TestHistoryBound(t *testing.T) {
 	ts := cannedDaemon(t)
-	p := newPoller(ts.URL, 3)
+	p := newPoller(ts.URL, 3, false)
 	t0 := time.Unix(1700000000, 0)
 	for i := 0; i < 10; i++ {
 		p.poll(t0.Add(time.Duration(i) * time.Second))
@@ -133,7 +133,7 @@ func TestMetricsOnlyDaemon(t *testing.T) {
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 
-	p := newPoller(ts.URL, 4)
+	p := newPoller(ts.URL, 4, false)
 	frame := p.render(p.poll(time.Unix(1700000000, 0)))
 	if !strings.Contains(frame, "workers 4") {
 		t.Errorf("metrics header missing:\n%s", frame)

@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"jvmgc/internal/labd"
+)
+
+// maxShardLine bounds one NDJSON line of a forwarded shard's stream (a
+// line embeds a whole result document).
+const maxShardLine = 16 << 20
+
+// handleBatch fans a batch out across the fleet: jobs are grouped by
+// ring owner, each group is forwarded as a sub-batch (the local group
+// runs on the co-resident daemon directly), and completion events are
+// merged into one stream as they arrive — the client sees one batch,
+// whatever the topology behind it.
+//
+// Failover is per shard and windowed by completion: when a node dies
+// mid-stream, only the jobs whose events had not yet arrived re-route
+// to their keys' next ring arcs; everything already delivered stays
+// delivered. Determinism makes this safe: a job that ran twice (once on
+// the dead node, once on its successor) produced identical bytes both
+// times.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.Header.Get(routedHeader) != "" && rt.localH != nil {
+		rt.serveLocal(w, r, body)
+		return
+	}
+	var req labd.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("fleet: batch: no jobs"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev labd.BatchEvent) error {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	_ = enc.Encode(labd.BatchHeader{Batch: len(req.Jobs), Node: rt.cfg.Self})
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	// Content-address every job up front; specs that cannot be keyed
+	// cannot be routed and fail immediately.
+	keys := make([]string, len(req.Jobs))
+	pending := make(map[int]bool, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		key, err := labd.SpecKey(spec)
+		if err != nil {
+			if emit(labd.BatchEvent{Index: i, Status: labd.StatusFailed, Error: err.Error()}) != nil {
+				return
+			}
+			continue
+		}
+		keys[i] = key
+		pending[i] = true
+	}
+
+	// Placement rounds: shard by owner, stream, re-shard whatever a dead
+	// node left unfinished. Each round removes at least one node from
+	// the alive set or finishes, so ring-size+1 rounds always suffice.
+	for round := 0; len(pending) > 0 && round <= rt.ring.Len(); round++ {
+		if round > 0 {
+			rt.reroutes.Add(int64(len(pending)))
+		}
+		groups := make(map[string][]int)
+		idxs := sortedIndices(pending)
+		for _, i := range idxs {
+			owner := rt.pick(keys[i])
+			if owner == "" {
+				continue // whole fleet down; fails after the loop
+			}
+			groups[owner] = append(groups[owner], i)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		// Buffered for every possible event, so shard workers never block
+		// on a client that stopped reading mid-stream.
+		msgs := make(chan labd.BatchEvent, len(pending))
+		var wg sync.WaitGroup
+		for owner, indices := range groups {
+			jobs := make([]labd.JobSpec, len(indices))
+			for k, i := range indices {
+				jobs[k] = req.Jobs[i]
+			}
+			wg.Add(1)
+			if owner == rt.cfg.Self && rt.local != nil {
+				go func(indices []int, jobs []labd.JobSpec) {
+					defer wg.Done()
+					rt.localShard(r, indices, jobs, req.TimeoutSeconds, msgs)
+				}(indices, jobs)
+			} else {
+				go func(owner string, indices []int, jobs []labd.JobSpec) {
+					defer wg.Done()
+					rt.forwardShard(r, owner, indices, jobs, req.TimeoutSeconds, msgs)
+				}(owner, indices, jobs)
+			}
+		}
+		go func() {
+			wg.Wait()
+			close(msgs)
+		}()
+		clientGone := false
+		for ev := range msgs {
+			if !pending[ev.Index] {
+				continue
+			}
+			delete(pending, ev.Index)
+			if !clientGone && emit(ev) != nil {
+				// Keep draining so shard workers finish; jobs keep
+				// running and land in their owners' caches.
+				clientGone = true
+			}
+		}
+		if clientGone {
+			return
+		}
+	}
+	for _, i := range sortedIndices(pending) {
+		if emit(labd.BatchEvent{Index: i, Status: labd.StatusFailed,
+			Error: "fleet: no nodes available"}) != nil {
+			return
+		}
+	}
+}
+
+func sortedIndices(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// disposition renders a finished job's cache disposition from its info.
+func disposition(info labd.JobInfo) string {
+	switch {
+	case info.CacheHit:
+		return "hit"
+	case info.Coalesced:
+		return "coalesced"
+	case info.PeerHit:
+		return "peer"
+	default:
+		return "miss"
+	}
+}
+
+// localShard runs one shard on the co-resident daemon directly — no
+// socket, no serialization round-trip. Submitting everything before
+// waiting preserves intra-shard coalescing, then each job's completion
+// becomes an event as it happens.
+func (rt *Router) localShard(r *http.Request, indices []int, jobs []labd.JobSpec, timeout float64, msgs chan<- labd.BatchEvent) {
+	rt.localJobs.Add(int64(len(indices)))
+	var wg sync.WaitGroup
+	for k, spec := range jobs {
+		idx := indices[k]
+		j, err := rt.local.SubmitContext(r.Context(), labd.SubmitRequest{
+			Job:            spec,
+			TimeoutSeconds: timeout,
+		})
+		if err != nil {
+			msgs <- labd.BatchEvent{Index: idx, Status: labd.StatusFailed, Error: err.Error()}
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, j *labd.Job) {
+			defer wg.Done()
+			<-j.Done()
+			info := j.Info()
+			ev := labd.BatchEvent{Index: idx, ID: j.ID, Key: j.Key, Cache: disposition(info)}
+			if bytes, err := j.Result(); err != nil {
+				ev.Status = labd.StatusFailed
+				ev.Error = err.Error()
+			} else {
+				ev.Status = labd.StatusDone
+				ev.Result = bytes
+			}
+			msgs <- ev
+		}(idx, j)
+	}
+	wg.Wait()
+}
+
+// forwardShard streams one shard through a peer node's batch endpoint,
+// remapping event indices back into the caller's space. Any transport-
+// level failure — connect, mid-stream cut, 5xx — marks the node down
+// and returns; the indices whose events never arrived stay pending and
+// re-route next round.
+func (rt *Router) forwardShard(r *http.Request, node string, indices []int, jobs []labd.JobSpec, timeout float64, msgs chan<- labd.BatchEvent) {
+	rt.acquire(node, len(indices))
+	defer rt.release(node, len(indices))
+	if err := rt.injectTransport(node); err != nil {
+		rt.MarkDown(node)
+		return
+	}
+	payload, err := json.Marshal(labd.BatchRequest{Jobs: jobs, TimeoutSeconds: timeout})
+	if err != nil {
+		for _, i := range indices {
+			msgs <- labd.BatchEvent{Index: i, Status: labd.StatusFailed, Error: err.Error()}
+		}
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		rt.cfg.Nodes[node]+"/v1/jobs/batch", bytes.NewReader(payload))
+	if err != nil {
+		for _, i := range indices {
+			msgs <- labd.BatchEvent{Index: i, Status: labd.StatusFailed, Error: err.Error()}
+		}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(routedHeader, "1")
+	resp, err := rt.cfg.HTTPClient.Do(req)
+	if err != nil {
+		rt.MarkDown(node)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= http.StatusInternalServerError {
+			rt.MarkDown(node)
+			return
+		}
+		// Deliberate rejection (4xx): retrying elsewhere cannot help.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		msg := strings.TrimSpace(string(body))
+		for _, i := range indices {
+			msgs <- labd.BatchEvent{Index: i, Status: labd.StatusFailed, Error: msg}
+		}
+		return
+	}
+	rt.forwards.Add(int64(len(indices)))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxShardLine)
+	if !sc.Scan() {
+		rt.MarkDown(node)
+		return
+	}
+	var header labd.BatchHeader
+	if json.Unmarshal(sc.Bytes(), &header) != nil {
+		rt.MarkDown(node)
+		return
+	}
+	got := 0
+	for got < header.Batch && sc.Scan() {
+		var ev labd.BatchEvent
+		if json.Unmarshal(sc.Bytes(), &ev) != nil {
+			break
+		}
+		if ev.Index < 0 || ev.Index >= len(indices) {
+			continue
+		}
+		ev.Index = indices[ev.Index]
+		msgs <- ev
+		got++
+	}
+	if got < header.Batch {
+		// The stream broke mid-batch (this is how a node kill manifests):
+		// the unacked remainder re-routes.
+		rt.MarkDown(node)
+	}
+}

@@ -1,0 +1,476 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"jvmgc/internal/faultinject"
+	"jvmgc/internal/fleet"
+	"jvmgc/internal/hdrhist"
+	"jvmgc/internal/labd"
+	"jvmgc/internal/labd/client"
+)
+
+// handlerSwap lets a listener exist before the handler behind it does:
+// fleet wiring needs every node's URL up front (the membership map),
+// but a node's handler needs the router, which needs the membership.
+type handlerSwap struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *handlerSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *handlerSwap) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+type testNode struct {
+	id  string
+	ts  *httptest.Server
+	rt  *fleet.Router
+	srv *labd.Server
+}
+
+// startFleet brings up a fleet of real daemons on ephemeral listeners,
+// each with an embedded router and the peer cache tier wired. chaosFor
+// may arm fault sites on individual nodes (nil = no chaos anywhere).
+// The returned kill function takes a node down the way a crash would:
+// in-flight connections cut, listener closed, no drain.
+func startFleet(t *testing.T, ids []string, chaosFor func(id string) *faultinject.Injector) (map[string]*testNode, func(victim string)) {
+	t.Helper()
+	nodes := make(map[string]*testNode, len(ids))
+	urls := make(map[string]string, len(ids))
+	swaps := make(map[string]*handlerSwap, len(ids))
+	for _, id := range ids {
+		swap := &handlerSwap{}
+		ts := httptest.NewServer(swap)
+		nodes[id] = &testNode{id: id, ts: ts}
+		urls[id] = ts.URL
+		swaps[id] = swap
+	}
+	kill := func(victim string) {
+		n := nodes[victim]
+		n.ts.CloseClientConnections()
+		_ = n.ts.Listener.Close()
+	}
+	for _, id := range ids {
+		var chaos *faultinject.Injector
+		if chaosFor != nil {
+			chaos = chaosFor(id)
+		}
+		rt, err := fleet.New(fleet.Config{
+			Self:     id,
+			Nodes:    urls,
+			Chaos:    chaos,
+			KillHook: kill,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := labd.New(labd.Config{
+			Workers:    2,
+			QueueDepth: 64,
+			NodeID:     id,
+			Peers:      rt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.SetLocal(srv)
+		swaps[id].set(rt.Handler())
+		nodes[id].rt = rt
+		nodes[id].srv = srv
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = n.srv.Drain(ctx)
+			cancel()
+		}
+	})
+	return nodes, kill
+}
+
+func sweepSpecs(n int) []labd.JobSpec {
+	specs := make([]labd.JobSpec, n)
+	for i := range specs {
+		specs[i] = labd.JobSpec{
+			Kind:            labd.KindSimulate,
+			Collector:       "CMS",
+			HeapBytes:       2 << 30,
+			DurationSeconds: 5,
+			Seed:            uint64(i + 1),
+		}
+	}
+	return specs
+}
+
+// TestFleetChaosNodeKillByteIdentity is the subsystem's acceptance
+// test: a fixed-seed chaos campaign kills one fleet node mid-batch, the
+// entry router marks it down and re-routes its shard's unfinished jobs
+// to their keys' next ring arcs, and the surviving fleet's results are
+// byte-identical to a single standalone daemon running the same sweep.
+func TestFleetChaosNodeKillByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	specs := sweepSpecs(12)
+
+	// Ground truth: one standalone daemon, no fleet, no chaos.
+	solo, err := labd.New(labd.Config{Workers: 2, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsSolo := httptest.NewServer(solo.Handler())
+	t.Cleanup(func() {
+		tsSolo.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = solo.Drain(ctx)
+	})
+	want, err := client.New(tsSolo.URL).Batch(ctx, specs, 0, nil)
+	if err != nil {
+		t.Fatalf("ground-truth batch: %v", err)
+	}
+	for _, r := range want {
+		if r.Err != nil {
+			t.Fatalf("ground-truth job %d: %v", r.Index, r.Err)
+		}
+	}
+
+	// The fleet: chaos armed on the entry node only — its second
+	// transport operation kills whichever peer it targets, exactly once.
+	// Which peer dies depends on goroutine interleaving (shard forwards
+	// and peer-cache probes race); byte identity must hold either way,
+	// which is the property under test.
+	nodes, _ := startFleet(t, []string{"n0", "n1", "n2"}, func(id string) *faultinject.Injector {
+		if id != "n0" {
+			return nil
+		}
+		inj, err := faultinject.Parse(7, "fleet/node.kill:after=1,count=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	})
+
+	got, err := client.New(nodes["n0"].ts.URL).Batch(ctx, specs, 0, nil)
+	if err != nil {
+		t.Fatalf("fleet batch: %v", err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("fleet batch returned %d results, want %d", len(got), len(specs))
+	}
+	for i, r := range got {
+		if r.Err != nil {
+			t.Fatalf("fleet job %d failed after node kill: %v", i, r.Err)
+		}
+		if !bytes.Equal(r.Bytes, want[i].Bytes) {
+			t.Errorf("job %d: fleet bytes (%d) differ from single-node bytes (%d)",
+				i, len(r.Bytes), len(want[i].Bytes))
+		}
+		if r.Key != want[i].Key {
+			t.Errorf("job %d: content key diverged: %s vs %s", i, r.Key, want[i].Key)
+		}
+	}
+
+	st := nodes["n0"].rt.Stats()
+	if st.Kills != 1 {
+		t.Errorf("injected kills = %d, want exactly 1", st.Kills)
+	}
+	if st.MarksDown < 1 {
+		t.Errorf("marks down = %d, want >= 1 (the victim)", st.MarksDown)
+	}
+	if st.Reroutes < 1 {
+		t.Errorf("reroutes = %d, want >= 1 (the dead shard's unfinished jobs)", st.Reroutes)
+	}
+}
+
+// TestFleetPeerCacheHit: a result cached on a non-owner node (primed
+// directly, as if membership had just changed) is served to the owner
+// through the peer tier — no recompute, SHA-256 verified, counted in
+// the owner's /metrics, disposition "peer" end to end.
+func TestFleetPeerCacheHit(t *testing.T) {
+	ctx := context.Background()
+	nodes, _ := startFleet(t, []string{"a", "b", "c"}, nil)
+
+	spec := labd.JobSpec{
+		Kind:            labd.KindSimulate,
+		Collector:       "G1",
+		HeapBytes:       4 << 30,
+		DurationSeconds: 5,
+		Seed:            99,
+	}
+	key, err := labd.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := nodes["a"].rt.Ring().Lookup(key)
+	var donor, entry string
+	for id := range nodes {
+		if id == owner {
+			continue
+		}
+		if donor == "" {
+			donor = id
+		} else {
+			entry = id
+		}
+	}
+
+	// Prime the donor as routed traffic would: X-Labd-Routed pins the
+	// job locally whatever the ring says.
+	payload, _ := json.Marshal(labd.SubmitRequest{Job: spec})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		nodes[donor].ts.URL+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Labd-Routed", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primed, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming the donor: HTTP %d, %v", resp.StatusCode, err)
+	}
+
+	// Submit through a third node: routed to the owner, which has never
+	// seen the key — the peer tier must find the donor's copy.
+	c := client.New(nodes[entry].ts.URL)
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Cache != "peer" {
+		t.Errorf("disposition = %q, want \"peer\"", sub.Cache)
+	}
+	if sub.Node != owner {
+		t.Errorf("submission landed on %q, ring owner is %q", sub.Node, owner)
+	}
+	if !bytes.Equal(sub.Bytes, primed) {
+		t.Errorf("peer-served bytes (%d) differ from the donor's original (%d)",
+			len(sub.Bytes), len(primed))
+	}
+	if got := c.Stats().NodeAttempts[owner]; got != 1 {
+		t.Errorf("client attributed %d answers to %s, want 1", got, owner)
+	}
+
+	// The owner computed nothing and the peer tier shows in its metrics.
+	metrics := fetchText(t, nodes[owner].ts.URL+"/metrics")
+	if line := "jvmgc_labd_cache_hits_peer_total 1"; !bytes.Contains([]byte(metrics), []byte(line+"\n")) {
+		t.Errorf("owner metrics missing %q", line)
+	}
+	if sims := nodes[owner].srv.NodeState().Counters["labd.simulations"]; sims != 0 {
+		t.Errorf("owner ran %d simulations, want 0 (peer tier must pre-empt recompute)", sims)
+	}
+	if st := nodes[owner].rt.Stats(); st.PeerHits != 1 {
+		t.Errorf("owner router peer hits = %d, want 1", st.PeerHits)
+	}
+
+	// The wire bytes were verified: the peek endpoint's digest matches.
+	peek, hdr := fetchPeek(t, nodes[donor].ts.URL+"/v1/cache/"+key)
+	sum := sha256.Sum256(peek)
+	if hex.EncodeToString(sum[:]) != hdr {
+		t.Errorf("peek digest header %q does not match body", hdr)
+	}
+	if !bytes.Equal(peek, primed) {
+		t.Error("peek bytes differ from the computed result")
+	}
+}
+
+// TestFleetExactAggregation: the fleet rollup is exact — /fleet/state's
+// merged latency histogram is byte-identical to merging the per-node
+// histograms by hand, counters are sums, and /fleet/nodes sees every
+// member alive.
+func TestFleetExactAggregation(t *testing.T) {
+	ctx := context.Background()
+	nodes, _ := startFleet(t, []string{"a", "b", "c"}, nil)
+	entry := client.New(nodes["a"].ts.URL)
+
+	results, err := entry.Batch(ctx, sweepSpecs(9), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.Index, r.Err)
+		}
+	}
+
+	// Hand-merge the per-node snapshots (read directly, no HTTP, so the
+	// snapshots cannot drift between the two reads), then compare with
+	// what the rollup endpoint serves.
+	var states []labd.NodeState
+	var wantSubmitted int64
+	for _, n := range nodes {
+		st := n.srv.NodeState()
+		wantSubmitted += st.Counters["labd.jobs.submitted"]
+		states = append(states, st)
+	}
+	want := fleet.MergeStates(states)
+
+	var got fleet.FleetState
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := json.Unmarshal([]byte(fetchText(t, nodes["a"].ts.URL+"/fleet/state")), &got); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got.LatencyHist, want.LatencyHist) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !bytes.Equal(got.LatencyHist, want.LatencyHist) {
+		t.Error("fleet latency histogram differs from the hand-merged per-node histograms")
+	}
+	if !bytes.Equal(got.QueueHist, want.QueueHist) {
+		t.Error("fleet queue-wait histogram differs from the hand merge")
+	}
+	if got.Counters["labd.jobs.submitted"] != wantSubmitted {
+		t.Errorf("fleet submitted = %d, want per-node sum %d",
+			got.Counters["labd.jobs.submitted"], wantSubmitted)
+	}
+	if len(got.Nodes) != 3 || len(got.Unreachable) != 0 {
+		t.Errorf("rollup saw %d nodes, %d unreachable; want 3, 0",
+			len(got.Nodes), len(got.Unreachable))
+	}
+	h, err := hdrhist.Decode(got.LatencyHist)
+	if err != nil {
+		t.Fatalf("merged histogram does not decode: %v", err)
+	}
+	var perNodeCount uint64
+	for _, st := range states {
+		if nh, err := hdrhist.Decode(st.LatencyHist); err == nil {
+			perNodeCount += nh.Count()
+		}
+	}
+	if h.Count() != perNodeCount {
+		t.Errorf("merged histogram count %d != per-node sum %d", h.Count(), perNodeCount)
+	}
+
+	// The Prometheus rollup serves the same names a single daemon does,
+	// so gctop and scrape configs are mode-blind.
+	promText := fetchText(t, nodes["a"].ts.URL+"/fleet/metrics")
+	for _, name := range []string{
+		"jvmgc_fleet_nodes 3",
+		"jvmgc_fleet_nodes_reachable 3",
+		"jvmgc_labd_jobs_submitted_total",
+		"jvmgc_labd_job_latency_hist_seconds_bucket",
+		"jvmgc_fleet_node_queue_depth{node=\"a\"}",
+		"jvmgc_labd_traces_seen",
+		"jvmgc_labd_traces_retained",
+	} {
+		if !bytes.Contains([]byte(promText), []byte(name)) {
+			t.Errorf("/fleet/metrics missing %q", name)
+		}
+	}
+
+	var membership struct {
+		Self  string `json:"self"`
+		Nodes []struct {
+			ID    string `json:"id"`
+			Alive bool   `json:"alive"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(fetchText(t, nodes["a"].ts.URL+"/fleet/nodes")), &membership); err != nil {
+		t.Fatal(err)
+	}
+	if membership.Self != "a" || len(membership.Nodes) != 3 {
+		t.Fatalf("membership: self=%q nodes=%d", membership.Self, len(membership.Nodes))
+	}
+	for _, n := range membership.Nodes {
+		if !n.Alive {
+			t.Errorf("node %s reported dead in a healthy fleet", n.ID)
+		}
+	}
+}
+
+// TestStandaloneRouter: a router with no local daemon still routes
+// submissions and serves the fleet surface.
+func TestStandaloneRouter(t *testing.T) {
+	ctx := context.Background()
+	nodes, _ := startFleet(t, []string{"a", "b"}, nil)
+
+	urls := map[string]string{
+		"a": nodes["a"].ts.URL,
+		"b": nodes["b"].ts.URL,
+	}
+	rt, err := fleet.New(fleet.Config{Nodes: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	c := client.New(front.URL)
+	spec := sweepSpecs(1)[0]
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := labd.SpecKey(spec)
+	if want := rt.Ring().Lookup(key); sub.Node != want {
+		t.Errorf("standalone router placed on %q, ring owner is %q", sub.Node, want)
+	}
+	if rt.Stats().Forwards != 1 {
+		t.Errorf("forwards = %d, want 1", rt.Stats().Forwards)
+	}
+}
+
+func fetchText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func fetchPeek(t *testing.T, url string) ([]byte, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Labd-Sha256")
+}

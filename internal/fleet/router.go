@@ -1,0 +1,591 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jvmgc/internal/faultinject"
+	"jvmgc/internal/labd"
+)
+
+// Fault-injection sites the router carries (internal/faultinject). Both
+// are inert unless Config.Chaos arms them.
+const (
+	// FaultNodeKill kills the forward's target node: Config.KillHook is
+	// invoked with the target's ID (the chaos test closes that node's
+	// listener), and the forward then fails for real, exercising the
+	// mark-down → re-route failover path end to end.
+	FaultNodeKill = "fleet/node.kill"
+	// FaultRoutePartition fails a forward as if the network between this
+	// router and the target dropped: the request is never sent, the
+	// target is marked down, and the job re-routes.
+	FaultRoutePartition = "fleet/route.partition"
+)
+
+// routedHeader marks a request already placed by a router. A node
+// receiving it serves the job locally, whatever the ring says — the
+// sender is authoritative for placement — which is what makes failover
+// re-routes terminate instead of looping between two routers with
+// different views of membership.
+const routedHeader = "X-Labd-Routed"
+
+// Config parameterizes a Router.
+type Config struct {
+	// Self is this node's ID — the Nodes entry whose jobs are served by
+	// the local daemon instead of forwarded. Empty means a standalone
+	// router fronting the fleet without a daemon of its own.
+	Self string
+	// Nodes maps node ID → base URL ("http://host:port") for every
+	// fleet member, including Self (its URL is what peers use).
+	Nodes map[string]string
+	// Vnodes is the virtual-node count per node (<=0 = default 128).
+	Vnodes int
+	// LoadFactor is the bounded-load multiplier: a node may hold at most
+	// ceil(LoadFactor · mean pending) routed jobs before placement
+	// slides to the next arc. <=1 disables the bound (pure consistent
+	// hashing). Default 1.25 — the classic "power of bounded loads"
+	// setting: near-minimal remapping with a hard cap on hot-shard
+	// pileup.
+	LoadFactor float64
+	// HTTPClient is the forwarding transport (default: a client with a
+	// 2-minute timeout, matched to the daemon's default job timeout).
+	HTTPClient *http.Client
+	// Chaos arms the router's fault sites; nil is a no-op.
+	Chaos *faultinject.Injector
+	// KillHook is invoked with the target node's ID when FaultNodeKill
+	// fires; chaos tests use it to actually take the node down.
+	KillHook func(node string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 1.25
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return c
+}
+
+// Router places jobs on their ring owners and serves the fleet rollup.
+// It implements labd.PeerFetcher, so the local daemon's cache gains the
+// peer tier when wired via labd.Config.Peers.
+type Router struct {
+	cfg  Config
+	ring *Ring
+
+	// local is the co-resident daemon (nil for a standalone router);
+	// localH its handler, served on the self fast path so local jobs
+	// never cross a socket.
+	local  *labd.Server
+	localH http.Handler
+
+	mu      sync.Mutex
+	down    map[string]bool
+	pending map[string]int // routed jobs in flight per node (bounded load)
+
+	forwards   atomic.Int64 // jobs forwarded to a peer
+	localJobs  atomic.Int64 // jobs placed on the local daemon
+	reroutes   atomic.Int64 // placements retried after a node failure
+	marksDown  atomic.Int64 // node-down transitions observed
+	kills      atomic.Int64 // FaultNodeKill firings
+	partitions atomic.Int64 // FaultRoutePartition firings
+	peerHits   atomic.Int64 // peer cache fetches that returned bytes
+	peerProbes atomic.Int64 // peer cache fetch attempts
+}
+
+// New builds a router over the given membership.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("fleet: no nodes configured")
+	}
+	ids := make([]string, 0, len(cfg.Nodes))
+	for id := range cfg.Nodes {
+		ids = append(ids, id)
+	}
+	if cfg.Self != "" {
+		if _, ok := cfg.Nodes[cfg.Self]; !ok {
+			return nil, fmt.Errorf("fleet: self %q not in node set", cfg.Self)
+		}
+	}
+	ring := NewRing(ids, cfg.Vnodes)
+	if err := ring.Validate(); err != nil {
+		return nil, err
+	}
+	return &Router{
+		cfg:     cfg,
+		ring:    ring,
+		down:    make(map[string]bool),
+		pending: make(map[string]int),
+	}, nil
+}
+
+// SetLocal attaches the co-resident daemon. Separate from New because
+// the daemon and router reference each other (the daemon's peer cache
+// tier is the router): build the router, pass it as labd.Config.Peers,
+// then attach the daemon here.
+func (rt *Router) SetLocal(s *labd.Server) {
+	rt.local = s
+	rt.localH = s.Handler()
+}
+
+// Ring exposes the placement ring (for tests and the fleet dashboard).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// MarkDown records a node as unavailable; placement skips it until
+// MarkUp (or a successful health probe) revives it.
+func (rt *Router) MarkDown(node string) {
+	rt.mu.Lock()
+	was := rt.down[node]
+	rt.down[node] = true
+	rt.mu.Unlock()
+	if !was {
+		rt.marksDown.Add(1)
+	}
+}
+
+// MarkUp records a node as available again.
+func (rt *Router) MarkUp(node string) {
+	rt.mu.Lock()
+	delete(rt.down, node)
+	rt.mu.Unlock()
+}
+
+// Down reports whether a node is currently marked down.
+func (rt *Router) Down(node string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.down[node]
+}
+
+func (rt *Router) acquire(node string, n int) {
+	rt.mu.Lock()
+	rt.pending[node] += n
+	rt.mu.Unlock()
+}
+
+func (rt *Router) release(node string, n int) {
+	rt.mu.Lock()
+	if rt.pending[node] -= n; rt.pending[node] <= 0 {
+		delete(rt.pending, node)
+	}
+	rt.mu.Unlock()
+}
+
+// pick places a key: the first alive candidate in ring order whose
+// pending load is under the bounded-load cap, falling back to the first
+// alive candidate when every node is at the bound. Returns "" when the
+// whole fleet is down. Allocation-free (benchmarked): the walk is
+// inlined with a bitmask visited set rather than using Ring.Walk, whose
+// closure argument would allocate per placement.
+func (rt *Router) pick(key string) string {
+	r := rt.ring
+	if len(r.points) == 0 {
+		return ""
+	}
+	start := r.start(key)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	alive, total := 0, 0
+	for _, n := range r.nodes {
+		if !rt.down[n] {
+			alive++
+			total += rt.pending[n]
+		}
+	}
+	if alive == 0 {
+		return ""
+	}
+	bound := math.MaxInt
+	if rt.cfg.LoadFactor > 1 {
+		bound = int(math.Ceil(rt.cfg.LoadFactor * float64(total+1) / float64(alive)))
+		if bound < 1 {
+			bound = 1
+		}
+	}
+
+	var visited uint64
+	offered := 0
+	fallback := ""
+	for i := 0; i < len(r.points) && offered < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		bit := uint64(1) << uint(p.node)
+		if visited&bit != 0 {
+			continue
+		}
+		visited |= bit
+		offered++
+		n := r.nodes[p.node]
+		if rt.down[n] {
+			continue
+		}
+		if fallback == "" {
+			fallback = n
+		}
+		if rt.pending[n] < bound {
+			return n
+		}
+	}
+	return fallback
+}
+
+// injectTransport runs the router's chaos sites for one forward to
+// node. A node-kill invokes the hook (which takes the node down for
+// real) and lets the forward fail naturally; a partition fails the
+// forward before it is sent.
+func (rt *Router) injectTransport(node string) error {
+	if rt.cfg.Chaos.Fire(FaultNodeKill) {
+		rt.kills.Add(1)
+		if rt.cfg.KillHook != nil {
+			rt.cfg.KillHook(node)
+		}
+	}
+	if err := rt.cfg.Chaos.Error(FaultRoutePartition); err != nil {
+		rt.partitions.Add(1)
+		return err
+	}
+	return nil
+}
+
+// maxPeerProbes bounds how many peers a cache fetch asks. The key's
+// previous owner is almost always within the first ring successors
+// (membership changes slide ownership one arc over), so probing deeper
+// buys little and costs a round trip per miss.
+const maxPeerProbes = 2
+
+// Fetch implements labd.PeerFetcher: ask the key's ring successors
+// (skipping self) for cached result bytes, verifying the SHA-256 the
+// peer advertises before trusting bytes that crossed the network. A
+// false return sends the local daemon to recompute — peer fetching is
+// an optimization, never a correctness dependency.
+func (rt *Router) Fetch(ctx context.Context, key string) ([]byte, bool) {
+	r := rt.ring
+	if len(r.points) == 0 {
+		return nil, false
+	}
+	start := r.start(key)
+	var visited uint64
+	offered, probes := 0, 0
+	for i := 0; i < len(r.points) && offered < len(r.nodes) && probes < maxPeerProbes; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		bit := uint64(1) << uint(p.node)
+		if visited&bit != 0 {
+			continue
+		}
+		visited |= bit
+		offered++
+		n := r.nodes[p.node]
+		if n == rt.cfg.Self || rt.Down(n) {
+			continue
+		}
+		probes++
+		rt.peerProbes.Add(1)
+		if b, ok := rt.fetchFrom(ctx, n, key); ok {
+			rt.peerHits.Add(1)
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// fetchFrom asks one peer for one key (GET /v1/cache/{key}).
+func (rt *Router) fetchFrom(ctx context.Context, node, key string) ([]byte, bool) {
+	if err := rt.injectTransport(node); err != nil {
+		rt.MarkDown(node)
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		rt.cfg.Nodes[node]+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := rt.cfg.HTTPClient.Do(req)
+	if err != nil {
+		rt.MarkDown(node)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A clean miss (404) proves the node alive; only transport-level
+		// failures mark it down.
+		return nil, false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		rt.MarkDown(node)
+		return nil, false
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != resp.Header.Get("X-Labd-Sha256") {
+		// Corrupt or truncated transfer; recompute rather than trust it.
+		return nil, false
+	}
+	return body, true
+}
+
+// Handler serves the fleet surface: job submission (routed), the
+// /fleet/* observability rollup, and — when a local daemon is attached —
+// everything else (job status, results, metrics, health) from the local
+// daemon unchanged.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", rt.handleBatch)
+	mux.HandleFunc("GET /fleet/state", rt.handleFleetState)
+	mux.HandleFunc("GET /fleet/metrics", rt.handleFleetMetrics)
+	mux.HandleFunc("GET /fleet/slo", rt.handleFleetSLO)
+	mux.HandleFunc("GET /fleet/traces", rt.handleFleetTraces)
+	mux.HandleFunc("GET /fleet/nodes", rt.handleFleetNodes)
+	mux.HandleFunc("/", rt.handleFallthrough)
+	return mux
+}
+
+func (rt *Router) handleFallthrough(w http.ResponseWriter, r *http.Request) {
+	if rt.localH != nil {
+		rt.localH.ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+			Role   string `json:"role"`
+		}{"ok", "router"})
+		return
+	}
+	writeError(w, http.StatusNotFound,
+		errors.New("fleet: standalone router: only /v1/jobs, /v1/jobs/batch and /fleet/* are served"))
+}
+
+// serveLocal hands a request to the co-resident daemon, restoring the
+// already-consumed body.
+func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	rt.localJobs.Add(1)
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	rt.localH.ServeHTTP(w, r)
+}
+
+// handleSubmit routes one job to its owner: local fast path when the
+// owner is this node, forward with failover otherwise. A request
+// already routed by a peer is always served locally (see routedHeader).
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.Header.Get(routedHeader) != "" && rt.localH != nil {
+		rt.serveLocal(w, r, body)
+		return
+	}
+	var req labd.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Job.Kind == "" {
+		var spec labd.JobSpec
+		if err := json.Unmarshal(body, &spec); err == nil && spec.Kind != "" {
+			req.Job = spec
+		}
+	}
+	key, err := labd.SpecKey(req.Job)
+	if err != nil {
+		// Invalid spec: the local daemon produces the canonical 400; a
+		// standalone router answers directly.
+		if rt.localH != nil {
+			rt.serveLocal(w, r, body)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	for attempt := 0; attempt < rt.ring.Len(); attempt++ {
+		owner := rt.pick(key)
+		if owner == "" {
+			break
+		}
+		if attempt > 0 {
+			rt.reroutes.Add(1)
+		}
+		if owner == rt.cfg.Self {
+			rt.serveLocal(w, r, body)
+			return
+		}
+		if rt.forward(w, r, owner, body) {
+			return
+		}
+		// forward marked the owner down; the next pick slides to the
+		// key's next arc.
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, errors.New("fleet: no nodes available"))
+}
+
+// forward proxies one submission to a peer node. False reports a
+// transport-level failure (node marked down, job should re-route);
+// true means a response — any response — was relayed to the client.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node string, body []byte) bool {
+	rt.acquire(node, 1)
+	defer rt.release(node, 1)
+	if err := rt.injectTransport(node); err != nil {
+		rt.MarkDown(node)
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		rt.cfg.Nodes[node]+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return true
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(routedHeader, "1")
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := rt.cfg.HTTPClient.Do(req)
+	if err != nil {
+		rt.MarkDown(node)
+		return false
+	}
+	defer resp.Body.Close()
+	rt.forwards.Add(1)
+	for _, h := range []string{"Content-Type", "Retry-After", "Location",
+		"X-Labd-Job", "X-Labd-Key", "X-Labd-Cache", "X-Labd-Trace", "X-Labd-Node"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// Health probes every node's /healthz (the local daemon directly),
+// updating the down set from what it finds, and returns the readings
+// keyed by node ID (nil entry = unreachable).
+func (rt *Router) Health(ctx context.Context) map[string]*labd.HealthStatus {
+	out := make(map[string]*labd.HealthStatus, len(rt.cfg.Nodes))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id, url := range rt.cfg.Nodes {
+		if id == rt.cfg.Self && rt.local != nil {
+			h := rt.local.Health()
+			mu.Lock()
+			out[id] = &h
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(id, url string) {
+			defer wg.Done()
+			h := rt.probeHealth(ctx, url)
+			mu.Lock()
+			out[id] = h
+			mu.Unlock()
+			if h == nil || h.Status != "ok" {
+				rt.MarkDown(id)
+			} else {
+				rt.MarkUp(id)
+			}
+		}(id, url)
+	}
+	wg.Wait()
+	return out
+}
+
+func (rt *Router) probeHealth(ctx context.Context, url string) *labd.HealthStatus {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var h labd.HealthStatus
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h) != nil {
+		return nil
+	}
+	return &h
+}
+
+// RouterStats snapshots the router's own counters for /fleet/nodes.
+type RouterStats struct {
+	Forwards      int64 `json:"forwards"`
+	LocalJobs     int64 `json:"local_jobs"`
+	Reroutes      int64 `json:"reroutes"`
+	MarksDown     int64 `json:"marks_down"`
+	Kills         int64 `json:"injected_kills"`
+	Partitions    int64 `json:"injected_partitions"`
+	PeerProbes    int64 `json:"peer_probes"`
+	PeerHits      int64 `json:"peer_hits"`
+	PendingRouted int   `json:"pending_routed"`
+}
+
+// Stats snapshots the router counters.
+func (rt *Router) Stats() RouterStats {
+	rt.mu.Lock()
+	pending := 0
+	for _, n := range rt.pending {
+		pending += n
+	}
+	rt.mu.Unlock()
+	return RouterStats{
+		Forwards:      rt.forwards.Load(),
+		LocalJobs:     rt.localJobs.Load(),
+		Reroutes:      rt.reroutes.Load(),
+		MarksDown:     rt.marksDown.Load(),
+		Kills:         rt.kills.Load(),
+		Partitions:    rt.partitions.Load(),
+		PeerProbes:    rt.peerProbes.Load(),
+		PeerHits:      rt.peerHits.Load(),
+		PendingRouted: pending,
+	}
+}
+
+// aliveNodes returns the node IDs not marked down, sorted.
+func (rt *Router) aliveNodes() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(rt.cfg.Nodes))
+	for _, n := range rt.ring.nodes {
+		if !rt.down[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -60,6 +60,17 @@ func (h *Hist) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
+// Decode builds a histogram from bytes previously encoded with
+// MarshalBinary — the convenience constructor for cross-process
+// transfers (a fleet aggregator decoding peer nodes' histograms).
+func Decode(data []byte) (*Hist, error) {
+	h := new(Hist)
+	if err := h.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
 // UnmarshalBinary decodes a histogram previously encoded with
 // MarshalBinary, replacing h's configuration and contents.
 func (h *Hist) UnmarshalBinary(data []byte) error {

@@ -1,0 +1,133 @@
+package labd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBatchJobs bounds one POST /v1/jobs/batch submission. The limit is
+// a framing guard, not a throughput one — the scheduler's queue bound
+// still applies per job, so an oversized burst inside the limit simply
+// collects ErrQueueFull events for the overflow.
+const maxBatchJobs = 1024
+
+// BatchRequest is the POST /v1/jobs/batch payload: many specs, one
+// delivery policy. Each job is submitted independently — cache hits,
+// coalescing and backpressure apply per job exactly as they would for
+// individual POST /v1/jobs calls.
+type BatchRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+	// TimeoutSeconds bounds each job's queue-plus-run time (0 = server
+	// default), same semantics as SubmitRequest.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// BatchHeader is the first line of the NDJSON batch response: how many
+// event lines follow, and which node produced them.
+type BatchHeader struct {
+	Batch int    `json:"batch"`
+	Node  string `json:"node,omitempty"`
+}
+
+// BatchEvent is one per-job completion line in the NDJSON stream.
+// Events arrive in completion order, not submission order; Index maps
+// each back to its position in BatchRequest.Jobs.
+type BatchEvent struct {
+	Index  int    `json:"index"`
+	ID     string `json:"id,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Status string `json:"status"`
+	// Cache is the job's final disposition: hit, coalesced, peer, miss.
+	Cache string `json:"cache,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Result embeds the job's result document. NDJSON framing forbids
+	// the canonical result's trailing newline, so the embedded form is
+	// the canonical bytes minus that newline (JSON re-encoding of an
+	// already-compact document changes nothing else); clients append
+	// '\n' to recover the byte-identical document a sync submission
+	// would have returned.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// handleBatch streams a batch of jobs: one header line, then one event
+// line per job as it completes. Streaming per-completion (rather than
+// buffering the whole batch) is what lets a fleet router start
+// forwarding finished results while slower shards still run, and what
+// lets a client watch a sweep progress job by job.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("labd: batch: no jobs"))
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("labd: batch: %d jobs exceeds limit %d", len(req.Jobs), maxBatchJobs))
+		return
+	}
+
+	// Submit everything first so identical specs inside one batch
+	// coalesce onto one flight before any of them completes. The events
+	// channel is sized for the whole batch, so completion goroutines can
+	// never block on a client that stopped reading.
+	events := make(chan BatchEvent, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		j, err := s.SubmitContext(r.Context(), SubmitRequest{
+			Job:            spec,
+			TimeoutSeconds: req.TimeoutSeconds,
+		})
+		if err != nil {
+			events <- BatchEvent{Index: i, Status: StatusFailed, Error: err.Error()}
+			continue
+		}
+		go func(i int, j *Job) {
+			<-j.Done()
+			ev := BatchEvent{Index: i, ID: j.ID, Key: j.Key, Cache: cacheDisposition(j)}
+			if bytes, err := j.Result(); err != nil {
+				ev.Status = StatusFailed
+				ev.Error = err.Error()
+			} else {
+				ev.Status = StatusDone
+				ev.Result = bytes
+			}
+			events <- ev
+		}(i, j)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(BatchHeader{Batch: len(req.Jobs), Node: s.cfg.NodeID})
+	flush()
+	for done := 0; done < len(req.Jobs); done++ {
+		select {
+		case ev := <-events:
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			// Client gone; jobs keep running and land in the cache.
+			return
+		}
+	}
+}

@@ -133,6 +133,33 @@ func (c *resultCache) insert(key string, bytes []byte) {
 	}
 }
 
+// peek resolves a key from the local tiers only — memory, then a
+// verified disk read (promoted into memory) — without ever electing a
+// flight. It is the read side of the peer cache tier: a peer asking
+// /v1/cache/{key} wants stored bytes or a fast miss, never a
+// recomputation on this node's workers.
+func (c *resultCache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if e, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(e)
+		c.mu.Unlock()
+		return e.Value.(*cacheEntry).bytes, true
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk == nil {
+		return nil, false
+	}
+	bytes, ok := disk.read(key)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.insert(key, bytes)
+	c.mu.Unlock()
+	return bytes, true
+}
+
 // get returns the stored bytes for a key without starting a flight.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()

@@ -26,6 +26,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -111,6 +112,11 @@ type Stats struct {
 	// BreakerFastFails counts calls rejected without a request because
 	// the breaker was open.
 	BreakerFastFails int64
+	// NodeAttempts counts answered requests per fleet node, keyed by the
+	// X-Labd-Node a response carried. Against a standalone daemon (no
+	// NodeID) the map stays empty; against a fleet it shows how this
+	// client's traffic spread across the ring.
+	NodeAttempts map[string]int64
 }
 
 // Client talks to one labd instance. It is safe for concurrent use.
@@ -166,7 +172,29 @@ func (c *Client) httpClient() *http.Client {
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	if c.stats.NodeAttempts != nil {
+		st.NodeAttempts = make(map[string]int64, len(c.stats.NodeAttempts))
+		for node, n := range c.stats.NodeAttempts {
+			st.NodeAttempts[node] = n
+		}
+	}
+	return st
+}
+
+// recordNode attributes one answered request to the fleet node named in
+// its response headers (no-op for standalone daemons).
+func (c *Client) recordNode(resp *http.Response) {
+	node := resp.Header.Get("X-Labd-Node")
+	if node == "" {
+		return
+	}
+	c.mu.Lock()
+	if c.stats.NodeAttempts == nil {
+		c.stats.NodeAttempts = make(map[string]int64)
+	}
+	c.stats.NodeAttempts[node]++
+	c.mu.Unlock()
 }
 
 // State reports the circuit breaker's current state: "closed", "open"
@@ -386,6 +414,7 @@ func (c *Client) attempt(req *http.Request, want int) (body []byte, resp *http.R
 		return nil, nil, err, req.Context().Err() != nil
 	}
 	defer resp.Body.Close()
+	c.recordNode(resp)
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
 		c.breakerRecord(false)
@@ -456,8 +485,13 @@ type Submission struct {
 	JobID string
 	// Key is the job's content address (the canonical spec hash).
 	Key string
-	// Cache is the disposition: "hit", "miss" or "coalesced".
+	// Cache is the disposition: "hit", "miss", "coalesced" or "peer".
 	Cache string
+	// Node is the fleet node that answered (X-Labd-Node; empty for a
+	// standalone daemon). With fleet routing this is the address the
+	// submission actually landed on, which may not be the node it was
+	// sent to.
+	Node string
 	// Bytes is the raw result body — byte-identical for every
 	// submission of the same spec.
 	Bytes []byte
@@ -524,6 +558,7 @@ func (c *Client) SubmitRequest(ctx context.Context, req labd.SubmitRequest) (*Su
 		JobID:   resp.Header.Get("X-Labd-Job"),
 		Key:     resp.Header.Get("X-Labd-Key"),
 		Cache:   resp.Header.Get("X-Labd-Cache"),
+		Node:    resp.Header.Get("X-Labd-Node"),
 		Bytes:   body,
 		TraceID: traceID,
 	}, nil
@@ -647,4 +682,158 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	}
 	body, _, err := c.do(req, http.StatusOK)
 	return string(body), err
+}
+
+// Health fetches the daemon's structured health reading — node identity,
+// queue pressure, per-tier cache hit counts. Unlike Healthz it reports a
+// draining daemon as data rather than an error.
+func (c *Client) Health(ctx context.Context) (*labd.HealthStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := c.do(req, http.StatusOK)
+	if err != nil {
+		// A draining daemon answers 503 with the same JSON body; surface
+		// the reading instead of the rejection when it parses.
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable {
+			var h labd.HealthStatus
+			if json.Unmarshal([]byte(apiErr.Message), &h) == nil && h.Status != "" {
+				return &h, nil
+			}
+		}
+		return nil, err
+	}
+	var h labd.HealthStatus
+	if err := json.Unmarshal(body, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// NodeState fetches the daemon's mergeable observability snapshot
+// (GET /v1/state) — what fleet aggregation folds across nodes.
+func (c *Client) NodeState(ctx context.Context) (*labd.NodeState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/state", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var st labd.NodeState
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// BatchResult is one job's outcome from a Batch call.
+type BatchResult struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	JobID string
+	Key   string
+	// Cache is the disposition: "hit", "miss", "coalesced" or "peer".
+	Cache string
+	// Bytes is the canonical result document, trailing newline restored —
+	// byte-identical to what a sync Submit of the same spec returns.
+	Bytes []byte
+	// Err is the job's failure, nil on success.
+	Err error
+}
+
+// maxBatchLine bounds one NDJSON line of a batch response (a line embeds
+// a whole result document).
+const maxBatchLine = 16 << 20
+
+// Batch submits many jobs in one POST /v1/jobs/batch call and streams
+// their completions: onEvent (optional) fires per event line in arrival
+// order, and the returned slice holds every outcome indexed by the job's
+// position in jobs. The stream is read to the end even if some jobs
+// fail; a transport error mid-stream returns what arrived plus the
+// error. Batch does not retry — identical specs are idempotent, so a
+// caller can safely resubmit the whole batch; completed jobs answer from
+// the cache.
+func (c *Client) Batch(ctx context.Context, jobs []labd.JobSpec, timeoutSeconds float64, onEvent func(labd.BatchEvent)) ([]BatchResult, error) {
+	if err := c.breakerAllow(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(labd.BatchRequest{Jobs: jobs, TimeoutSeconds: timeoutSeconds})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs/batch", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.mu.Lock()
+	c.stats.Attempts++
+	c.mu.Unlock()
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		c.breakerRecord(false)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	c.recordNode(resp)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		msg := strings.TrimSpace(string(body))
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		c.breakerRecord(!retryableStatus(resp.StatusCode))
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	c.breakerRecord(true)
+
+	results := make([]BatchResult, len(jobs))
+	for i := range results {
+		results[i] = BatchResult{Index: i, Err: errors.New("labd client: batch stream ended before this job's event")}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxBatchLine)
+	if !sc.Scan() {
+		return results, fmt.Errorf("labd client: batch: empty response: %w", sc.Err())
+	}
+	var header labd.BatchHeader
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		return results, fmt.Errorf("labd client: batch header: %w", err)
+	}
+	for got := 0; got < header.Batch && sc.Scan(); got++ {
+		var ev labd.BatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return results, fmt.Errorf("labd client: batch event: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Index < 0 || ev.Index >= len(results) {
+			continue
+		}
+		r := BatchResult{Index: ev.Index, JobID: ev.ID, Key: ev.Key, Cache: ev.Cache}
+		if ev.Status == labd.StatusDone {
+			// NDJSON framing stripped the canonical trailing newline;
+			// restore it so batch bytes match sync-submission bytes.
+			r.Bytes = append(append([]byte(nil), ev.Result...), '\n')
+			r.Err = nil
+		} else {
+			r.Err = &APIError{StatusCode: http.StatusInternalServerError, Message: ev.Error}
+		}
+		results[ev.Index] = r
+	}
+	if err := sc.Err(); err != nil {
+		return results, fmt.Errorf("labd client: batch stream: %w", err)
+	}
+	return results, nil
 }

@@ -2,6 +2,8 @@ package labd
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"io"
@@ -16,12 +18,18 @@ import (
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /v1/jobs          submit a job (sync by default; async=202)
+//	POST   /v1/jobs/batch    submit many jobs; NDJSON completion stream
 //	GET    /v1/jobs          list job records
 //	GET    /v1/jobs/{id}     job status
 //	GET    /v1/jobs/{id}/result   result bytes (byte-identical to sync)
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/cache/{key}   cached result bytes (peer cache tier)
+//	GET    /v1/state         mergeable observability snapshot (fleet)
 //	GET    /metrics          Prometheus text format
-//	GET    /healthz          liveness + drain state
+//	GET    /healthz          liveness + drain state + cache-tier counts
+//
+// With Config.NodeID set, every response carries X-Labd-Node so a
+// client (or an operator's curl) can tell which fleet node answered.
 //
 // With fault injection armed (Config.Chaos), /v1/* requests pass the
 // FaultHTTPFlaky point first: a firing hit is answered 503 with
@@ -31,29 +39,40 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
+	mux.HandleFunc("GET /v1/state", s.handleState)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /debug/traces/{id}/chrome", s.handleTraceChrome)
 	mux.HandleFunc("GET /debug/slo", s.handleSLO)
-	if !s.chaos.Enabled() {
-		return mux
+	var handler http.Handler = mux
+	if s.chaos.Enabled() {
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/") && s.chaos.Fire(FaultHTTPFlaky) {
+				s.rec.Add("labd.http.injected.faults", 1)
+				w.Header().Set("Retry-After", "0")
+				writeError(w, http.StatusServiceUnavailable,
+					errors.New("faultinject: injected flaky response"))
+				return
+			}
+			mux.ServeHTTP(w, r)
+		})
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if strings.HasPrefix(r.URL.Path, "/v1/") && s.chaos.Fire(FaultHTTPFlaky) {
-			s.rec.Add("labd.http.injected.faults", 1)
-			w.Header().Set("Retry-After", "0")
-			writeError(w, http.StatusServiceUnavailable,
-				errors.New("faultinject: injected flaky response"))
-			return
-		}
-		mux.ServeHTTP(w, r)
-	})
+	if s.cfg.NodeID != "" {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Labd-Node", s.cfg.NodeID)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	return handler
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -129,8 +148,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("X-Labd-Job", j.ID)
 	w.Header().Set("X-Labd-Key", j.Key)
-	w.Header().Set("X-Labd-Cache", cacheDisposition(j))
 	if req.Async {
+		w.Header().Set("X-Labd-Cache", cacheDisposition(j))
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.Info())
 		return
@@ -142,6 +161,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Client went away; the job continues and lands in the cache.
 		return
 	}
+	// Disposition is read after completion: a peer-tier hit is only
+	// discovered once the job reaches a worker, so reading it at submit
+	// time would report "miss" for peer-served results.
+	w.Header().Set("X-Labd-Cache", cacheDisposition(j))
 	s.respondResult(w, j)
 }
 
@@ -153,6 +176,8 @@ func cacheDisposition(j *Job) string {
 		return "hit"
 	case j.coalesced:
 		return "coalesced"
+	case j.peerHit:
+		return "peer"
 	default:
 		return "miss"
 	}
@@ -378,18 +403,36 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
+	h := s.Health()
 	status := http.StatusOK
-	state := "ok"
-	if draining {
-		// Readiness flips during drain so load balancers stop routing.
+	if h.Status == "draining" {
+		// Readiness flips during drain so load balancers (and fleet
+		// routers probing membership) stop routing.
 		status = http.StatusServiceUnavailable
-		state = "draining"
 	}
-	writeJSON(w, status, struct {
-		Status        string  `json:"status"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-	}{state, time.Since(s.started).Seconds()})
+	writeJSON(w, status, h)
+}
+
+// handleCachePeek serves a cached result verbatim — the read side of the
+// fleet peer cache tier. Local tiers only (memory, disk): a miss is 404,
+// never a recomputation, so a peer probe can't consume this node's
+// workers. X-Labd-Sha256 carries the body's digest; the fetching peer
+// verifies it before trusting bytes that crossed the network.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	bytes, ok := s.cache.peek(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("labd: key not cached here"))
+		return
+	}
+	sum := sha256.Sum256(bytes)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Labd-Sha256", hex.EncodeToString(sum[:]))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(bytes)
+}
+
+// handleState serves the mergeable observability snapshot the fleet
+// aggregator folds across nodes (see NodeState).
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.NodeState())
 }

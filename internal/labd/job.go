@@ -197,6 +197,19 @@ func (s JobSpec) key() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// SpecKey normalizes a spec and returns its content address — exactly
+// the key the daemon computes at submission. A fleet router hashes it
+// to place the job on its owner node, so routing and caching agree on
+// ownership (which is what makes single-flight hold fleet-wide: every
+// identical spec converges on one node's one flight).
+func SpecKey(spec JobSpec) (string, error) {
+	n, err := spec.normalized()
+	if err != nil {
+		return "", err
+	}
+	return n.key()
+}
+
 // SubmitRequest is the POST /v1/jobs payload: the job plus delivery
 // options that do not affect the result (and therefore stay out of the
 // cache key).
@@ -230,9 +243,11 @@ type JobInfo struct {
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
 	// CacheHit marks jobs answered from the result cache; Coalesced marks
-	// jobs deduplicated onto an identical in-flight execution.
+	// jobs deduplicated onto an identical in-flight execution; PeerHit
+	// marks jobs served from a fleet peer's cache instead of recomputing.
 	CacheHit  bool `json:"cache_hit,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
+	PeerHit   bool `json:"peer_hit,omitempty"`
 	// ResultBytes is the size of the result body once done.
 	ResultBytes int `json:"result_bytes,omitempty"`
 	// TraceID identifies the request's trace when tracing was on;

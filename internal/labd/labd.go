@@ -83,6 +83,24 @@ type Config struct {
 	// SLO enables the burn-rate monitor over finished-job latency and
 	// errors, served at /debug/slo and as /metrics gauges. Nil disables.
 	SLO *obs.SLO
+	// NodeID names this daemon instance in a fleet. When set, every
+	// response carries it in X-Labd-Node, /healthz and /v1/state report
+	// it, and traces exported for fleet aggregation are stamped with it.
+	// Empty (the default) means a standalone daemon.
+	NodeID string
+	// Peers, when set, adds a peer cache tier: a flight leader that
+	// misses memory and disk asks the fleet for the key's bytes
+	// (SHA-256-verified) before paying for a recomputation. Nil — the
+	// default — keeps the cache node-local.
+	Peers PeerFetcher
+}
+
+// PeerFetcher is the peer cache tier's transport: given a content
+// address, fetch the result bytes from another fleet node, verifying
+// integrity before returning them. internal/fleet's Router implements
+// it over HTTP GET /v1/cache/{key}.
+type PeerFetcher interface {
+	Fetch(ctx context.Context, key string) ([]byte, bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +190,7 @@ type Job struct {
 	err       error
 	cacheHit  bool
 	coalesced bool
+	peerHit   bool
 }
 
 // Done returns the job's completion channel.
@@ -200,6 +219,7 @@ func (j *Job) Info() JobInfo {
 		Status:    j.status,
 		CacheHit:  j.cacheHit,
 		Coalesced: j.coalesced,
+		PeerHit:   j.peerHit,
 	}
 	if id := j.trace.ID(); !id.IsZero() {
 		info.TraceID = id.String()
@@ -231,6 +251,7 @@ type Server struct {
 
 	tracer *obs.Tracer
 	slo    *obs.SLO
+	peers  PeerFetcher
 
 	started time.Time
 	running atomic.Int64
@@ -276,6 +297,7 @@ func New(cfg Config) (*Server, error) {
 		runSpec:   runSpec,
 		tracer:    cfg.Tracer,
 		slo:       cfg.SLO,
+		peers:     cfg.Peers,
 		started:   time.Now(),
 		jobs:      make(map[string]*Job),
 		latHist:   hdrhist.New(hdrhist.Config{}),
@@ -287,6 +309,16 @@ func New(cfg Config) (*Server, error) {
 	s.rec.Add("labd.jobs.panicked", 0)
 	s.rec.Add("labd.cache.corruptions.detected", 0)
 	s.rec.Add("labd.http.injected.faults", 0)
+	// Per-tier cache traffic, so /healthz and fleet views can tell a
+	// memory hit from a disk promotion from a peer fetch.
+	s.rec.Add("labd.cache.hits.memory", 0)
+	if disk != nil {
+		s.rec.Add("labd.cache.hits.disk", 0)
+	}
+	if cfg.Peers != nil {
+		s.rec.Add("labd.cache.hits.peer", 0)
+		s.rec.Add("labd.cache.peer.misses", 0)
+	}
 	return s, nil
 }
 
@@ -368,6 +400,11 @@ func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, er
 		j.cacheHit = true
 		s.mu.Unlock()
 		s.rec.Add("labd.cache.hits", 1)
+		if tier == "disk" {
+			s.rec.Add("labd.cache.hits.disk", 1)
+		} else {
+			s.rec.Add("labd.cache.hits.memory", 1)
+		}
 		s.finish(j, cached, nil)
 	case !leader:
 		j.coalesced = true
@@ -496,6 +533,29 @@ func (s *Server) runJob(j *Job, worker int) {
 	s.histMu.Unlock()
 	s.running.Add(1)
 	defer s.running.Add(-1)
+
+	// Peer tier: before recomputing, a fleet node asks its peers for the
+	// key's bytes (memory → disk → peer → recompute). A verified peer
+	// hit completes the flight exactly as an execution would — coalesced
+	// followers, disk write-through and byte-identity all behave the
+	// same — it just costs one HTTP fetch instead of a simulation.
+	if s.peers != nil {
+		peerSpan := j.trace.StartSpan("cache.peer", "exec", obs.SpanID{})
+		bytes, ok := s.peers.Fetch(j.ctx, j.Key)
+		if j.trace != nil {
+			peerSpan.End(obs.Str("hit", peerTier(ok)))
+		}
+		if ok {
+			j.mu.Lock()
+			j.peerHit = true
+			j.mu.Unlock()
+			s.rec.Add("labd.cache.hits.peer", 1)
+			s.cache.complete(j.Key, j.fl, bytes, nil)
+			s.finish(j, bytes, nil)
+			return
+		}
+		s.rec.Add("labd.cache.peer.misses", 1)
+	}
 	s.rec.Add("labd.simulations", 1)
 
 	type execOutcome struct {
@@ -663,8 +723,19 @@ func (s *Server) finish(j *Job, bytes []byte, err error) {
 	})
 }
 
+// peerTier renders a peer-fetch outcome for the trace span attribute.
+func peerTier(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
 // QueueDepth returns the number of jobs waiting for a worker.
 func (s *Server) QueueDepth() int { return s.pool.Pending() }
+
+// NodeID returns the daemon's fleet identity ("" when standalone).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
 
 // Running returns the number of jobs executing right now.
 func (s *Server) Running() int { return int(s.running.Load()) }

@@ -1,0 +1,140 @@
+package labd
+
+import (
+	"time"
+
+	"jvmgc/internal/obs"
+)
+
+// NodeState is one daemon's observability snapshot in a machine-mergeable
+// form: raw counters, binary histograms and per-window SLO counts rather
+// than rendered text. The fleet aggregator (internal/fleet) pulls one per
+// node from GET /v1/state and folds them — counters sum, histograms merge
+// bucket-exactly, SLO windows sum and re-derive, slowest traces union —
+// so the fleet view is arithmetic over node views, never a re-scrape.
+type NodeState struct {
+	// Node is the daemon's fleet identity (Config.NodeID).
+	Node          string  `json:"node,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Counters are the recorder's monotonic counters by name
+	// (labd.jobs.submitted, labd.cache.hits.peer, ...).
+	Counters map[string]int64 `json:"counters"`
+
+	// Live scheduler gauges.
+	QueueDepth   int `json:"queue_depth"`
+	Running      int `json:"running"`
+	Workers      int `json:"workers"`
+	CacheEntries int `json:"cache_entries"`
+	DiskEntries  int `json:"disk_entries,omitempty"`
+
+	// LatencyHist and QueueHist are hdrhist binary encodings ("hdr1",
+	// base64 in JSON). Shipping the buckets rather than quantiles is what
+	// makes fleet aggregation exact: Merge is commutative and lossless,
+	// so fleet p99 is computed from the merged distribution, not
+	// averaged from per-node p99s (which would be meaningless).
+	LatencyHist []byte `json:"latency_hist,omitempty"`
+	QueueHist   []byte `json:"queue_hist,omitempty"`
+
+	// SLO carries the burn-rate monitor's reading; nil when disabled.
+	// obs.MergeStatus folds these across nodes.
+	SLO *obs.Status `json:"slo,omitempty"`
+
+	// Slowest lists the node's slowest retained traces (tail-latency
+	// candidates for the fleet-wide slowest-K union). TracesSeen and
+	// TracesRetained are the store totals.
+	Slowest        []obs.TraceSummary `json:"slowest,omitempty"`
+	TracesSeen     int64              `json:"traces_seen,omitempty"`
+	TracesRetained int                `json:"traces_retained,omitempty"`
+}
+
+// NodeState snapshots the daemon for fleet aggregation.
+func (s *Server) NodeState() NodeState {
+	st := NodeState{
+		Node:          s.cfg.NodeID,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Counters:      make(map[string]int64),
+		QueueDepth:    s.QueueDepth(),
+		Running:       s.Running(),
+		Workers:       s.cfg.Workers,
+		CacheEntries:  s.CacheLen(),
+		DiskEntries:   s.DiskCacheEntries(),
+	}
+	for _, c := range s.rec.Counters() {
+		st.Counters[c.Name] = c.Value
+	}
+	s.histMu.Lock()
+	// Marshal cannot fail for a live histogram; losing the hist from one
+	// snapshot is not worth failing the whole state endpoint over.
+	if b, err := s.latHist.MarshalBinary(); err == nil {
+		st.LatencyHist = b
+	}
+	if b, err := s.queueHist.MarshalBinary(); err == nil {
+		st.QueueHist = b
+	}
+	s.histMu.Unlock()
+	if s.slo.Enabled() {
+		slo := s.slo.Status()
+		st.SLO = &slo
+	}
+	if store := s.tracer.Store(); store != nil {
+		st.Slowest = store.Slowest()
+		for i := range st.Slowest {
+			st.Slowest[i].Node = s.cfg.NodeID
+		}
+		st.TracesSeen = store.Seen()
+		st.TracesRetained = store.Len()
+	}
+	return st
+}
+
+// CacheHealth is the per-tier cache reading inside HealthStatus.
+type CacheHealth struct {
+	Entries     int   `json:"entries"`
+	DiskEntries int   `json:"disk_entries,omitempty"`
+	MemoryHits  int64 `json:"memory_hits"`
+	DiskHits    int64 `json:"disk_hits,omitempty"`
+	PeerHits    int64 `json:"peer_hits,omitempty"`
+	PeerMisses  int64 `json:"peer_misses,omitempty"`
+}
+
+// HealthStatus is the GET /healthz body: liveness plus enough shape —
+// node identity, queue pressure, per-tier cache traffic — for a fleet
+// router to judge membership and for an operator's curl to tell which
+// node answered and how loaded it is.
+type HealthStatus struct {
+	// Status is "ok" or "draining" (the latter served as 503 so load
+	// balancers and fleet routers stop sending work).
+	Status        string      `json:"status"`
+	Node          string      `json:"node,omitempty"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	QueueDepth    int         `json:"queue_depth"`
+	Running       int         `json:"running"`
+	Cache         CacheHealth `json:"cache"`
+}
+
+// Health snapshots the daemon's health reading.
+func (s *Server) Health() HealthStatus {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	state := "ok"
+	if draining {
+		state = "draining"
+	}
+	return HealthStatus{
+		Status:        state,
+		Node:          s.cfg.NodeID,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		QueueDepth:    s.QueueDepth(),
+		Running:       s.Running(),
+		Cache: CacheHealth{
+			Entries:     s.CacheLen(),
+			DiskEntries: s.DiskCacheEntries(),
+			MemoryHits:  s.rec.Counter("labd.cache.hits.memory"),
+			DiskHits:    s.rec.Counter("labd.cache.hits.disk"),
+			PeerHits:    s.rec.Counter("labd.cache.hits.peer"),
+			PeerMisses:  s.rec.Counter("labd.cache.peer.misses"),
+		},
+	}
+}

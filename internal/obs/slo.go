@@ -218,20 +218,80 @@ func (s *SLO) Status() Status {
 		}
 		st.Windows = append(st.Windows, ws)
 	}
-	// Multiwindow severity: every window must burn for the reading to
-	// escalate, so a short blip (fast window only) stays sub-page and a
-	// long-ago incident (slow window only) cannot re-page.
-	switch {
-	case st.Total == 0:
-		st.Severity = "idle"
-	case minBurn > 14.4:
-		st.Severity = "page"
-	case minBurn > 6:
-		st.Severity = "warn"
-	case minBurn > 1:
-		st.Severity = "watch"
-	default:
-		st.Severity = "ok"
-	}
+	st.Severity = severityFor(minBurn, st.Total)
 	return st
+}
+
+// severityFor maps the multiwindow minimum burn rate onto the alert
+// severity: every window must burn for the reading to escalate, so a
+// short blip (fast window only) stays sub-page and a long-ago incident
+// (slow window only) cannot re-page.
+func severityFor(minBurn float64, total int64) string {
+	switch {
+	case total == 0:
+		return "idle"
+	case minBurn > 14.4:
+		return "page"
+	case minBurn > 6:
+		return "warn"
+	case minBurn > 1:
+		return "watch"
+	default:
+		return "ok"
+	}
+}
+
+// MergeStatus folds per-node SLO readings into one fleet-wide Status:
+// window counts are summed by window label, fractions and burn rates
+// are recomputed from the summed counts against the first status's
+// objectives (a fleet runs one SLO policy), and the severity is
+// re-derived with the same multiwindow rule a single node uses. Empty
+// input returns the zero Status.
+func MergeStatus(sts ...Status) Status {
+	var out Status
+	var windows []string
+	byLabel := map[string]*WindowStatus{}
+	for _, st := range sts {
+		if out.LatencyTarget == 0 && st.LatencyTarget != 0 {
+			out.LatencyThresholdSeconds = st.LatencyThresholdSeconds
+			out.LatencyTarget = st.LatencyTarget
+			out.ErrorTarget = st.ErrorTarget
+		}
+		out.Total += st.Total
+		out.Slow += st.Slow
+		out.Errors += st.Errors
+		for _, w := range st.Windows {
+			ws, ok := byLabel[w.Window]
+			if !ok {
+				ws = &WindowStatus{Window: w.Window}
+				byLabel[w.Window] = ws
+				windows = append(windows, w.Window)
+			}
+			ws.Total += w.Total
+			ws.Slow += w.Slow
+			ws.Errors += w.Errors
+		}
+	}
+	latBudget := 1 - out.LatencyTarget
+	errBudget := 1 - out.ErrorTarget
+	minBurn := 0.0
+	for i, label := range windows {
+		ws := byLabel[label]
+		if ws.Total > 0 && latBudget > 0 && errBudget > 0 {
+			ws.SlowFraction = float64(ws.Slow) / float64(ws.Total)
+			ws.ErrorFraction = float64(ws.Errors) / float64(ws.Total)
+			ws.LatencyBurnRate = ws.SlowFraction / latBudget
+			ws.ErrorBurnRate = ws.ErrorFraction / errBudget
+		}
+		burn := ws.LatencyBurnRate
+		if ws.ErrorBurnRate > burn {
+			burn = ws.ErrorBurnRate
+		}
+		if i == 0 || burn < minBurn {
+			minBurn = burn
+		}
+		out.Windows = append(out.Windows, *ws)
+	}
+	out.Severity = severityFor(minBurn, out.Total)
+	return out
 }

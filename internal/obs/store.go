@@ -125,6 +125,10 @@ type TraceSummary struct {
 	Status          string    `json:"status"`
 	Spans           int       `json:"spans"`
 	Slowest         bool      `json:"slowest,omitempty"`
+	// Node names the fleet node that filed the trace. Empty on a
+	// single daemon's own listing; fleet aggregation stamps it so a
+	// merged slowest-K view says where each trace lives.
+	Node string `json:"node,omitempty"`
 }
 
 func summarize(td *TraceData) TraceSummary {
