@@ -32,6 +32,15 @@ go test -race -count=1 -run 'TestEndToEndTracing|TestEndToEndTraceCacheDispositi
 # results must be byte-identical to a single-node run; plus the peer
 # cache tier and the exact-aggregation rollup.
 go test -race -count=1 -run 'TestFleetChaosNodeKillByteIdentity|TestFleetPeerCacheHit|TestFleetExactAggregation' ./internal/fleet/
+# Churn smoke: a 3-node gossip fleet reconfigures while a fixed-seed
+# batch streams through it — a fourth node joins and warms its arc, a
+# node is hard-killed, a node leaves gracefully with arc handoff — and
+# every result must be byte-identical to a single-node run with zero
+# client-visible failures. Alongside it, the SWIM false-positive guard:
+# a node stalled just under the suspicion window refutes and is never
+# declared dead.
+go test -race -count=1 -run 'TestFleetChurnByteIdentity' ./internal/fleet/
+go test -race -count=1 -run 'TestStallRefutedNotDeclaredDead|TestDeathAndRecovery|TestJoinAnnounceLeaveLifecycle' ./internal/fleet/gossip/
 go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint|BenchmarkNoopTracePoint' -benchtime=1x ./...
 
 # bench-gate: re-measure the kernel-bound artifact benchmarks (without
@@ -44,6 +53,7 @@ go build -o /tmp/benchdiff ./cmd/benchdiff
   go test -run=NONE -bench 'BenchmarkScheduleFire|BenchmarkScheduleCancel' -benchmem -count=2 ./internal/event/
   go test -run=NONE -bench 'BenchmarkHDRRecord|BenchmarkHDRQuantile' -benchmem -count=2 ./internal/hdrhist/
   go test -run=NONE -bench 'BenchmarkSweepImbalance|BenchmarkFIFOImbalance' -benchmem -count=2 ./internal/sweep/
-  go test -run=NONE -bench 'BenchmarkRingLookup|BenchmarkRouterPick' -benchmem -count=2 ./internal/fleet/
+  go test -run=NONE -bench 'BenchmarkRingLookup|BenchmarkRouterPick|BenchmarkHandoffPlan' -benchmem -count=2 ./internal/fleet/
+  go test -run=NONE -bench 'BenchmarkGossipTick' -benchmem -count=2 ./internal/fleet/gossip/
 } > /tmp/bench_current.txt
 /tmp/benchdiff -in /tmp/bench_current.txt -out /tmp/BENCH_current.json -baseline BENCH_baseline.json

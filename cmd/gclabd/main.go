@@ -25,6 +25,22 @@
 // -peers without -fleet runs a standalone router: no local daemon, jobs
 // are only forwarded.
 //
+// Live membership (-gossip) runs a SWIM failure detector between the
+// nodes: a node that stops answering probes is suspected, confirmed via
+// indirect probes through peers, and eventually removed from placement —
+// and rejoins automatically when it answers again. New nodes join a
+// running fleet without membership restarts:
+//
+//	gclabd -addr :8375 -fleet d -advertise http://h4:8375 \
+//	    -gossip -join http://h1:8372
+//
+// The joiner fetches the membership snapshot from a seed, warms its
+// future cache arc from the current owners, and only then announces
+// itself into placement. POST /v1/fleet/leave (or SIGTERM in gossip
+// mode) departs gracefully: the leave is broadcast, the node's cached
+// arc is handed to its successors, in-flight jobs drain, then the
+// process exits — zero client-visible failures.
+//
 // SIGTERM/SIGINT drain gracefully: intake stops (healthz flips to
 // draining), queued and running jobs finish, then the process exits.
 package main
@@ -43,6 +59,7 @@ import (
 
 	"jvmgc/internal/faultinject"
 	"jvmgc/internal/fleet"
+	"jvmgc/internal/fleet/gossip"
 	"jvmgc/internal/labd"
 	"jvmgc/internal/obs"
 )
@@ -85,6 +102,12 @@ func main() {
 		vnodes   = flag.Int("fleet-vnodes", 0, "virtual nodes per fleet member on the placement ring (0 = default 128)")
 		loadFac  = flag.Float64("fleet-load-factor", 1.25, "bounded-load multiplier; a node holds at most ceil(factor x mean pending) routed jobs (<=1 disables the bound)")
 
+		gossipOn   = flag.Bool("gossip", false, "live fleet membership: SWIM gossip failure detection, join/leave, automatic ring reconfiguration")
+		joinSeeds  = flag.String("join", "", "comma-separated seed URLs of a running fleet to join (implies -gossip; requires -fleet and -advertise)")
+		advertise  = flag.String("advertise", "", "base URL peers use to reach this node (default: this node's -peers entry)")
+		gossipTick = flag.Duration("gossip-interval", time.Second, "gossip protocol period")
+		suspectTO  = flag.Duration("suspect-timeout", 0, "how long a suspicion lives before a death declaration (0 = 8x gossip interval; always raised to 32x the runtime's worst GC pause)")
+
 		trace      = flag.Bool("trace", true, "request tracing: per-request spans at /debug/traces, exemplars on /metrics")
 		traceCap   = flag.Int("trace-capacity", 256, "completed traces retained in the ring (slowest are kept longer)")
 		traceSlow  = flag.Int("trace-slowest", 16, "slowest traces pinned beyond ring eviction")
@@ -125,15 +148,35 @@ func main() {
 			ErrorTarget:      *sloErrTgt,
 		})
 	}
+	useGossip := *gossipOn || *joinSeeds != ""
+	if useGossip && *fleetID == "" {
+		fmt.Fprintln(os.Stderr, "gclabd: -gossip/-join require -fleet")
+		os.Exit(2)
+	}
+
 	// Fleet wiring order matters: the router must exist before the
 	// daemon (it is the daemon's peer cache tier), and the daemon must
 	// attach back to the router (it serves the router's local shard).
 	var router *fleet.Router
-	if *peerSpec != "" {
-		peers, err := parsePeers(*peerSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gclabd:", err)
-			os.Exit(2)
+	var peers map[string]string
+	// leaveCh fires when a graceful leave has fully drained; the main
+	// loop then shuts the HTTP server down and exits.
+	leaveCh := make(chan struct{}, 1)
+	if *peerSpec != "" || *joinSeeds != "" {
+		if *peerSpec != "" {
+			var err error
+			if peers, err = parsePeers(*peerSpec); err != nil {
+				fmt.Fprintln(os.Stderr, "gclabd:", err)
+				os.Exit(2)
+			}
+		} else {
+			// A pure joiner boots alone: the join snapshot brings the
+			// membership, gossip brings the ring.
+			if *advertise == "" {
+				fmt.Fprintln(os.Stderr, "gclabd: -join without -peers requires -advertise")
+				os.Exit(2)
+			}
+			peers = map[string]string{*fleetID: strings.TrimRight(*advertise, "/")}
 		}
 		router, err = fleet.New(fleet.Config{
 			Self:       *fleetID,
@@ -141,6 +184,12 @@ func main() {
 			Vnodes:     *vnodes,
 			LoadFactor: *loadFac,
 			Chaos:      chaos,
+			AfterLeave: func() {
+				select {
+				case leaveCh <- struct{}{}:
+				default:
+				}
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gclabd:", err)
@@ -169,10 +218,46 @@ func main() {
 		}
 	}
 
+	if router != nil && srv != nil {
+		router.SetLocal(srv)
+	}
+
+	// Live membership: the gossiper owns the fleet view and pushes every
+	// placement change into the router's ring via SetMembership.
+	var gsp *gossip.Gossiper
+	if useGossip && router != nil {
+		adv := strings.TrimRight(*advertise, "/")
+		if adv == "" {
+			adv = peers[*fleetID]
+		}
+		if adv == "" {
+			fmt.Fprintln(os.Stderr, "gclabd: -gossip requires -advertise or a -peers entry for this node")
+			os.Exit(2)
+		}
+		gcfg := gossip.Config{
+			Self:           *fleetID,
+			URL:            adv,
+			Peers:          peers,
+			Joining:        *joinSeeds != "",
+			Interval:       *gossipTick,
+			SuspectTimeout: *suspectTO,
+			Chaos:          chaos,
+			OnUpdate:       router.SetMembership,
+		}
+		if srv != nil {
+			gcfg.Rec = srv.Recorder()
+		}
+		gsp, err = gossip.New(gcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gclabd:", err)
+			os.Exit(2)
+		}
+		router.AttachGossip(gsp)
+	}
+
 	var handler http.Handler
 	switch {
 	case router != nil && srv != nil:
-		router.SetLocal(srv)
 		handler = router.Handler()
 		fmt.Fprintf(os.Stderr, "gclabd: fleet node %q over %d peers\n",
 			*fleetID, router.Ring().Len())
@@ -193,22 +278,68 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "gclabd: listening on %s\n", *addr)
 
+	if gsp != nil {
+		gsp.Start()
+		if *joinSeeds != "" {
+			// Join in the background — the listener is already up to
+			// answer gossip, and traffic routes here only after the
+			// warm-up completes and the node announces itself.
+			seeds := strings.Split(*joinSeeds, ",")
+			for i := range seeds {
+				seeds[i] = strings.TrimRight(strings.TrimSpace(seeds[i]), "/")
+			}
+			go func() {
+				jctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+				defer cancel()
+				if err := router.JoinAndWarm(jctx, seeds); err != nil {
+					fmt.Fprintln(os.Stderr, "gclabd:", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "gclabd: joined fleet (epoch %d, %d nodes)\n",
+					router.Epoch(), router.Ring().Len())
+			}()
+		}
+	}
+
+	left := false
 	select {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "gclabd:", err)
 		os.Exit(1)
+	case <-leaveCh:
+		// POST /v1/fleet/leave already broadcast the departure, handed
+		// the cache arc off and drained the daemon; only the HTTP server
+		// remains.
+		left = true
+		fmt.Fprintln(os.Stderr, "gclabd: left fleet, shutting down")
 	case <-ctx.Done():
 	}
 
 	fmt.Fprintln(os.Stderr, "gclabd: draining...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
+	if gsp != nil && router != nil && !left {
+		// Gossip mode turns a SIGTERM into a graceful leave: broadcast,
+		// hand the cache arc to successors, drain — peers re-ring around
+		// this node instead of having to detect its death.
+		if err := router.Leave(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "gclabd: leave:", err)
+		} else {
+			left = true // Leave already drained the daemon
+		}
+	}
 	// Stop intake first (connections finish their in-flight responses),
 	// then wait for the scheduler to empty.
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "gclabd: http shutdown:", err)
 	}
-	if srv != nil {
+	if gsp != nil {
+		gsp.Close()
+	}
+	if router != nil {
+		router.Close()
+	}
+	if srv != nil && !left {
 		if err := srv.Drain(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "gclabd: drain:", err)
 			os.Exit(1)

@@ -56,13 +56,18 @@ type sample struct {
 	recent []obs.TraceSummary
 	slow   []obs.TraceSummary
 	nodes  []nodeRow
+	epoch  uint64
 }
 
-// nodeRow is one fleet member in the -fleet membership panel.
+// nodeRow is one fleet member in the -fleet membership panel. State and
+// Incarnation come from gossip when live membership is on
+// (alive/suspect/dead/left); a static fleet reports alive/down.
 type nodeRow struct {
-	ID     string `json:"id"`
-	Alive  bool   `json:"alive"`
-	Health *struct {
+	ID          string `json:"id"`
+	Alive       bool   `json:"alive"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+	Health      *struct {
 		Status     string `json:"status"`
 		QueueDepth int    `json:"queue_depth"`
 		Running    int    `json:"running"`
@@ -168,10 +173,12 @@ func (p *poller) poll(now time.Time) sample {
 	if p.fleet {
 		if body, err := p.get("/fleet/nodes"); err == nil {
 			var listing struct {
+				Epoch uint64    `json:"epoch"`
 				Nodes []nodeRow `json:"nodes"`
 			}
 			if json.Unmarshal(body, &listing) == nil {
 				s.nodes = listing.Nodes
+				s.epoch = listing.Epoch
 			}
 		}
 	}
@@ -207,15 +214,22 @@ func (p *poller) render(s sample) string {
 		s.submitted, s.cacheLen, 100*hitRate, s.tracesSeen, s.retained)
 
 	if len(s.nodes) > 0 {
-		b.WriteString("\nfleet nodes:\n")
+		fmt.Fprintf(&b, "\nfleet nodes (epoch %d):\n", s.epoch)
 		for _, n := range s.nodes {
+			member := n.State
+			if member == "" {
+				member = "alive"
+			}
+			if n.Incarnation > 0 {
+				member = fmt.Sprintf("%s@%d", member, n.Incarnation)
+			}
 			if n.Health == nil {
-				fmt.Fprintf(&b, "  %-12s DOWN\n", n.ID)
+				fmt.Fprintf(&b, "  %-12s %-10s UNREACHABLE\n", n.ID, member)
 				continue
 			}
 			h := n.Health
-			fmt.Fprintf(&b, "  %-12s %-8s queue %3d  running %3d  cache %4d (mem %d / disk %d / peer %d hits)\n",
-				n.ID, h.Status, h.QueueDepth, h.Running, h.Cache.Entries,
+			fmt.Fprintf(&b, "  %-12s %-10s %-8s queue %3d  running %3d  cache %4d (mem %d / disk %d / peer %d hits)\n",
+				n.ID, member, h.Status, h.QueueDepth, h.Running, h.Cache.Entries,
 				h.Cache.MemoryHits, h.Cache.DiskHits, h.Cache.PeerHits)
 		}
 	}

@@ -125,14 +125,14 @@ func mergeHist(acc *hdrhist.Hist, data []byte) *hdrhist.Hist {
 	return acc
 }
 
-// gatherStates pulls /v1/state from every configured node (the local
+// gatherStates pulls /v1/state from every placed node (the local
 // daemon directly), marking unreachable nodes down.
 func (rt *Router) gatherStates(ctx context.Context) (states []labd.NodeState, unreachable []string) {
 	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for id, url := range rt.cfg.Nodes {
+	for id, url := range rt.view.Load().urls {
 		if id == rt.cfg.Self && rt.local != nil {
 			st := rt.local.NodeState()
 			mu.Lock()
@@ -241,7 +241,9 @@ func (rt *Router) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range names {
 		snap.Counter(name, "Fleet-wide sum of the per-node counter.", merged.Counters[name])
 	}
-	snap.Gauge("fleet.nodes", "Configured fleet nodes.", float64(len(rt.cfg.Nodes)))
+	snap.Gauge("fleet.nodes", "Placed fleet nodes in the current view.",
+		float64(rt.Ring().Len()))
+	snap.Gauge("fleet.epoch", "Current membership epoch.", float64(rt.Epoch()))
 	snap.Gauge("fleet.nodes.reachable", "Nodes that answered the state probe.",
 		float64(len(merged.Nodes)))
 	snap.Gauge("labd.queue.depth", "Jobs waiting for a worker, fleet-wide.",
@@ -285,37 +287,67 @@ func (rt *Router) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // NodeInfo is one row of /fleet/nodes: membership plus a live probe.
+// State/Incarnation come from the gossip memberlist when one is
+// attached ("alive"/"suspect"/"dead"/"left"); a static fleet reports
+// "alive" or "down" from the router's own mark-down set.
 type NodeInfo struct {
-	ID     string             `json:"id"`
-	URL    string             `json:"url"`
-	Self   bool               `json:"self,omitempty"`
-	Alive  bool               `json:"alive"`
-	Health *labd.HealthStatus `json:"health,omitempty"`
+	ID          string             `json:"id"`
+	URL         string             `json:"url"`
+	Self        bool               `json:"self,omitempty"`
+	Alive       bool               `json:"alive"`
+	State       string             `json:"state"`
+	Incarnation uint64             `json:"incarnation,omitempty"`
+	Health      *labd.HealthStatus `json:"health,omitempty"`
 }
 
-// handleFleetNodes probes every node and serves membership, health and
-// the router's own placement counters.
+// handleFleetNodes probes every placed node and serves membership
+// (with gossip states when live membership is on), health and the
+// router's own placement counters.
 func (rt *Router) handleFleetNodes(w http.ResponseWriter, r *http.Request) {
 	health := rt.Health(r.Context())
-	ids := make([]string, 0, len(rt.cfg.Nodes))
-	for id := range rt.cfg.Nodes {
+	v := rt.view.Load()
+	type memberState struct {
+		state string
+		inc   uint64
+		url   string
+	}
+	members := make(map[string]memberState)
+	for id, url := range v.urls {
+		members[id] = memberState{state: "alive", url: url}
+	}
+	if rt.g != nil {
+		// Include non-placed registers too: a dead or left node showing
+		// up with its state is the dashboard's whole point.
+		for _, m := range rt.g.Memberlist().Members() {
+			members[m.ID] = memberState{state: m.StateName, inc: m.Incarnation, url: m.URL}
+		}
+	}
+	ids := make([]string, 0, len(members))
+	for id := range members {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	nodes := make([]NodeInfo, 0, len(ids))
 	for _, id := range ids {
 		h := health[id]
+		ms := members[id]
+		if rt.g == nil && rt.Down(id) {
+			ms.state = "down"
+		}
 		nodes = append(nodes, NodeInfo{
-			ID:     id,
-			URL:    rt.cfg.Nodes[id],
-			Self:   id == rt.cfg.Self,
-			Alive:  h != nil && h.Status == "ok",
-			Health: h,
+			ID:          id,
+			URL:         ms.url,
+			Self:        id == rt.cfg.Self,
+			Alive:       h != nil && h.Status == "ok",
+			State:       ms.state,
+			Incarnation: ms.inc,
+			Health:      h,
 		})
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Self   string      `json:"self,omitempty"`
+		Epoch  uint64      `json:"epoch"`
 		Nodes  []NodeInfo  `json:"nodes"`
 		Router RouterStats `json:"router"`
-	}{rt.cfg.Self, nodes, rt.Stats()})
+	}{rt.cfg.Self, v.epoch, nodes, rt.Stats()})
 }

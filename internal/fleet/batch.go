@@ -88,7 +88,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Placement rounds: shard by owner, stream, re-shard whatever a dead
 	// node left unfinished. Each round removes at least one node from
 	// the alive set or finishes, so ring-size+1 rounds always suffice.
-	for round := 0; len(pending) > 0 && round <= rt.ring.Len(); round++ {
+	for round := 0; len(pending) > 0 && round <= rt.Ring().Len(); round++ {
 		if round > 0 {
 			rt.reroutes.Add(int64(len(pending)))
 		}
@@ -133,6 +133,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		clientGone := false
 		for ev := range msgs {
 			if !pending[ev.Index] {
+				continue
+			}
+			if ev.Status == labd.StatusFailed && strings.Contains(ev.Error, labd.ErrDraining.Error()) {
+				// The job raced a graceful leave: the shard landed after
+				// the target stopped intake. Not a failure — the job stays
+				// pending and re-routes to the post-leave ring next round.
 				continue
 			}
 			delete(pending, ev.Index)
@@ -232,8 +238,13 @@ func (rt *Router) forwardShard(r *http.Request, node string, indices []int, jobs
 		}
 		return
 	}
+	url, ok := rt.view.Load().urls[node]
+	if !ok {
+		// The node left between pick and forward; the shard re-routes.
+		return
+	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		rt.cfg.Nodes[node]+"/v1/jobs/batch", bytes.NewReader(payload))
+		url+"/v1/jobs/batch", bytes.NewReader(payload))
 	if err != nil {
 		for _, i := range indices {
 			msgs <- labd.BatchEvent{Index: i, Status: labd.StatusFailed, Error: err.Error()}

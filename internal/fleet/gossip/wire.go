@@ -1,0 +1,67 @@
+package gossip
+
+import "strconv"
+
+// The gossip wire protocol: every message — ping, ack, ping-req, join —
+// is one small JSON object, and every message carries membership deltas,
+// because piggybacking is how SWIM disseminates state without a
+// broadcast round. The hot direction (the once-per-tick ping this node
+// originates) is hand-encoded by appending into a reused buffer so a
+// gossip tick allocates nothing; the receive direction decodes with
+// encoding/json, where an allocation per incoming message is fine.
+
+// Message types.
+const (
+	msgPing    = "ping"
+	msgAck     = "ack"
+	msgPingReq = "ping-req"
+	msgJoin    = "join"
+)
+
+// message is a decoded gossip message.
+type message struct {
+	T      string  `json:"t"`
+	From   string  `json:"from"`
+	Target string  `json:"target,omitempty"` // ping-req only: who to probe
+	URL    string  `json:"url,omitempty"`    // join only: the joiner's base URL
+	Deltas []Delta `json:"deltas,omitempty"`
+}
+
+// appendMessage hand-encodes a message into buf and returns the extended
+// slice. The output is plain JSON, byte-compatible with the message
+// struct's tags, so receivers decode it with encoding/json.
+func appendMessage(buf []byte, t, from, target string, deltas []Delta) []byte {
+	buf = append(buf, `{"t":`...)
+	buf = strconv.AppendQuote(buf, t)
+	buf = append(buf, `,"from":`...)
+	buf = strconv.AppendQuote(buf, from)
+	if target != "" {
+		buf = append(buf, `,"target":`...)
+		buf = strconv.AppendQuote(buf, target)
+	}
+	buf = append(buf, `,"deltas":[`...)
+	for i := range deltas {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendDelta(buf, deltas[i])
+	}
+	buf = append(buf, ']', '}')
+	return buf
+}
+
+// appendDelta hand-encodes one membership delta.
+func appendDelta(buf []byte, d Delta) []byte {
+	buf = append(buf, `{"id":`...)
+	buf = strconv.AppendQuote(buf, d.ID)
+	if d.URL != "" {
+		buf = append(buf, `,"url":`...)
+		buf = strconv.AppendQuote(buf, d.URL)
+	}
+	buf = append(buf, `,"state":`...)
+	buf = strconv.AppendUint(buf, uint64(d.State), 10)
+	buf = append(buf, `,"inc":`...)
+	buf = strconv.AppendUint(buf, d.Inc, 10)
+	buf = append(buf, '}')
+	return buf
+}

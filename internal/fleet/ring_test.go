@@ -143,7 +143,7 @@ func TestRouterPickBoundedLoadAndFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := "0c3f7d1e"
-	owner := rt.ring.Lookup(key)
+	owner := rt.Ring().Lookup(key)
 	if got := rt.pick(key); got != owner {
 		t.Fatalf("idle pick = %s, want ring owner %s", got, owner)
 	}
@@ -157,7 +157,7 @@ func TestRouterPickBoundedLoadAndFailover(t *testing.T) {
 		t.Fatalf("pick stayed on overloaded owner %s", owner)
 	}
 	var next string
-	rt.ring.Walk(key, func(n string) bool {
+	rt.Ring().Walk(key, func(n string) bool {
 		if n != owner {
 			next = n
 			return true
@@ -196,8 +196,8 @@ func TestRouterPickAllAtBoundFallsBack(t *testing.T) {
 		rt.acquire(n, 100)
 	}
 	key := "deadbeef"
-	if got := rt.pick(key); got != rt.ring.Lookup(key) {
-		t.Errorf("saturated pick = %q, want owner %q", got, rt.ring.Lookup(key))
+	if got := rt.pick(key); got != rt.Ring().Lookup(key) {
+		t.Errorf("saturated pick = %q, want owner %q", got, rt.Ring().Lookup(key))
 	}
 }
 

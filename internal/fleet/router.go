@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -17,10 +18,12 @@ import (
 	"time"
 
 	"jvmgc/internal/faultinject"
+	"jvmgc/internal/fleet/gossip"
 	"jvmgc/internal/labd"
+	"jvmgc/internal/telemetry"
 )
 
-// Fault-injection sites the router carries (internal/faultinject). Both
+// Fault-injection sites the router carries (internal/faultinject). All
 // are inert unless Config.Chaos arms them.
 const (
 	// FaultNodeKill kills the forward's target node: Config.KillHook is
@@ -32,6 +35,10 @@ const (
 	// router and the target dropped: the request is never sent, the
 	// target is marked down, and the job re-routes.
 	FaultRoutePartition = "fleet/route.partition"
+	// FaultHandoffAbort drops one key's push during the graceful-leave
+	// handoff. Correctness survives — the successor recomputes or
+	// peer-fetches on demand — the handoff only pre-warms.
+	FaultHandoffAbort = "fleet/handoff.abort"
 )
 
 // routedHeader marks a request already placed by a router. A node
@@ -47,8 +54,10 @@ type Config struct {
 	// the local daemon instead of forwarded. Empty means a standalone
 	// router fronting the fleet without a daemon of its own.
 	Self string
-	// Nodes maps node ID → base URL ("http://host:port") for every
-	// fleet member, including Self (its URL is what peers use).
+	// Nodes maps node ID → base URL ("http://host:port") for the boot
+	// membership, including Self (its URL is what peers use). With a
+	// gossiper attached this is only the starting view; live membership
+	// replaces it through SetMembership.
 	Nodes map[string]string
 	// Vnodes is the virtual-node count per node (<=0 = default 128).
 	Vnodes int
@@ -67,6 +76,15 @@ type Config struct {
 	// KillHook is invoked with the target node's ID when FaultNodeKill
 	// fires; chaos tests use it to actually take the node down.
 	KillHook func(node string)
+	// ReprobeBase/ReprobeMax bound the jittered exponential backoff of
+	// the background re-probe that revives a marked-down node (defaults
+	// 500ms / 30s). Without it a single transport hiccup would quarantine
+	// a node until something happened to call Health().
+	ReprobeBase time.Duration
+	ReprobeMax  time.Duration
+	// AfterLeave runs (on its own goroutine) once a POST /v1/fleet/leave
+	// has fully drained — the daemon wires process shutdown here.
+	AfterLeave func()
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +94,24 @@ func (c Config) withDefaults() Config {
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: 2 * time.Minute}
 	}
+	if c.ReprobeBase <= 0 {
+		c.ReprobeBase = 500 * time.Millisecond
+	}
+	if c.ReprobeMax <= 0 {
+		c.ReprobeMax = 30 * time.Second
+	}
 	return c
+}
+
+// view is one immutable membership snapshot: the placement ring, the
+// node URLs it routes to, and the epoch that names it. Routers never
+// mutate a view — a membership change builds a new one and swaps the
+// pointer, so every in-flight request keeps the ring it started with
+// while new requests see the new epoch, with no lock on the hot path.
+type view struct {
+	epoch uint64
+	ring  *Ring
+	urls  map[string]string
 }
 
 // Router places jobs on their ring owners and serves the fleet rollup.
@@ -84,7 +119,11 @@ func (c Config) withDefaults() Config {
 // peer tier when wired via labd.Config.Peers.
 type Router struct {
 	cfg  Config
-	ring *Ring
+	view atomic.Pointer[view]
+
+	// g is the live-membership gossiper (nil = static fleet). Attach
+	// before Handler(); the gossip endpoints mount under /v1/gossip/.
+	g *gossip.Gossiper
 
 	// local is the co-resident daemon (nil for a standalone router);
 	// localH its handler, served on the self fast path so local jobs
@@ -92,45 +131,87 @@ type Router struct {
 	local  *labd.Server
 	localH http.Handler
 
-	mu      sync.Mutex
-	down    map[string]bool
-	pending map[string]int // routed jobs in flight per node (bounded load)
+	mu        sync.Mutex
+	down      map[string]bool
+	pending   map[string]int  // routed jobs in flight per node (bounded load)
+	reprobing map[string]bool // nodes with a live re-probe loop
+	closed    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	leaveOnce sync.Once
+	leaveErr  error
+
+	rngState atomic.Uint64 // jitter for re-probe and handoff backoff
 
 	forwards   atomic.Int64 // jobs forwarded to a peer
 	localJobs  atomic.Int64 // jobs placed on the local daemon
 	reroutes   atomic.Int64 // placements retried after a node failure
 	marksDown  atomic.Int64 // node-down transitions observed
+	revivals   atomic.Int64 // nodes revived by the background re-probe
+	epochSwaps atomic.Int64 // membership views swapped in
 	kills      atomic.Int64 // FaultNodeKill firings
 	partitions atomic.Int64 // FaultRoutePartition firings
 	peerHits   atomic.Int64 // peer cache fetches that returned bytes
 	peerProbes atomic.Int64 // peer cache fetch attempts
 }
 
-// New builds a router over the given membership.
+// New builds a router over the given boot membership.
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Nodes) == 0 {
 		return nil, errors.New("fleet: no nodes configured")
-	}
-	ids := make([]string, 0, len(cfg.Nodes))
-	for id := range cfg.Nodes {
-		ids = append(ids, id)
 	}
 	if cfg.Self != "" {
 		if _, ok := cfg.Nodes[cfg.Self]; !ok {
 			return nil, fmt.Errorf("fleet: self %q not in node set", cfg.Self)
 		}
 	}
-	ring := NewRing(ids, cfg.Vnodes)
+	v, err := buildView(0, cfg.Nodes, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:       cfg,
+		down:      make(map[string]bool),
+		pending:   make(map[string]int),
+		reprobing: make(map[string]bool),
+		done:      make(chan struct{}),
+	}
+	rt.rngState.Store(hashString(cfg.Self) | 1)
+	rt.view.Store(v)
+	return rt, nil
+}
+
+// buildView constructs an immutable view from a membership set.
+func buildView(epoch uint64, urls map[string]string, vnodes int) (*view, error) {
+	ids := make([]string, 0, len(urls))
+	own := make(map[string]string, len(urls))
+	for id, u := range urls {
+		ids = append(ids, id)
+		own[id] = u
+	}
+	ring := NewRing(ids, vnodes)
 	if err := ring.Validate(); err != nil {
 		return nil, err
 	}
-	return &Router{
-		cfg:     cfg,
-		ring:    ring,
-		down:    make(map[string]bool),
-		pending: make(map[string]int),
-	}, nil
+	return &view{epoch: epoch, ring: ring, urls: own}, nil
+}
+
+// jitter returns a uniform duration in [0, d) — full jitter, so a herd
+// of routers backing off together spreads out instead of thundering.
+func (rt *Router) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	z := rt.rngState.Add(0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return time.Duration(z % uint64(d))
 }
 
 // SetLocal attaches the co-resident daemon. Separate from New because
@@ -142,18 +223,131 @@ func (rt *Router) SetLocal(s *labd.Server) {
 	rt.localH = s.Handler()
 }
 
-// Ring exposes the placement ring (for tests and the fleet dashboard).
-func (rt *Router) Ring() *Ring { return rt.ring }
+// AttachGossip wires the live-membership gossiper. The gossiper should
+// be constructed with OnUpdate: rt.SetMembership so placement follows
+// membership; attach before Handler() so /v1/gossip/* is mounted.
+func (rt *Router) AttachGossip(g *gossip.Gossiper) { rt.g = g }
 
-// MarkDown records a node as unavailable; placement skips it until
-// MarkUp (or a successful health probe) revives it.
+// Gossip returns the attached gossiper (nil for a static fleet).
+func (rt *Router) Gossip() *gossip.Gossiper { return rt.g }
+
+// rec returns the local daemon's recorder; nil (a no-op recorder) for a
+// standalone router.
+func (rt *Router) rec() *telemetry.Recorder {
+	if rt.local == nil {
+		return nil
+	}
+	return rt.local.Recorder()
+}
+
+// Ring exposes the current placement ring (for tests and the fleet
+// dashboard). The pointer is a snapshot: a concurrent membership change
+// swaps the router's view but never mutates a ring already handed out.
+func (rt *Router) Ring() *Ring { return rt.view.Load().ring }
+
+// Epoch returns the current membership epoch (0 for a static fleet).
+func (rt *Router) Epoch() uint64 { return rt.view.Load().epoch }
+
+// SetMembership atomically replaces the placement view — gossip's
+// OnUpdate callback. In-flight requests keep the old view; requests
+// that start after the swap place on the new ring. Mark-down and
+// pending-load state for departed nodes is pruned so a node that
+// rejoins later starts clean.
+func (rt *Router) SetMembership(epoch uint64, urls map[string]string) {
+	v, err := buildView(epoch, urls, rt.cfg.Vnodes)
+	if err != nil {
+		// An invalid membership (fleet grew past the ring's node bound)
+		// cannot be placed; keep routing on the last good view.
+		return
+	}
+	rt.view.Store(v)
+	rt.epochSwaps.Add(1)
+	rt.mu.Lock()
+	for id := range rt.down {
+		if _, ok := v.urls[id]; !ok {
+			delete(rt.down, id)
+		}
+	}
+	for id := range rt.pending {
+		if _, ok := v.urls[id]; !ok {
+			delete(rt.pending, id)
+		}
+	}
+	rt.mu.Unlock()
+}
+
+// Close stops the router's background work (re-probe loops, and the
+// leave path if one is running waits for drain elsewhere).
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.done)
+	rt.wg.Wait()
+}
+
+// MarkDown records a node as unavailable; placement skips it until it
+// is revived — by MarkUp, a successful Health() probe, or the jittered
+// background re-probe MarkDown itself schedules. The re-probe is what
+// keeps a quarantine temporary: a node marked down by one transport
+// hiccup rejoins placement on its own, no operator action needed.
 func (rt *Router) MarkDown(node string) {
 	rt.mu.Lock()
 	was := rt.down[node]
 	rt.down[node] = true
+	spawn := !rt.reprobing[node] && !rt.closed
+	if spawn {
+		rt.reprobing[node] = true
+		rt.wg.Add(1)
+	}
 	rt.mu.Unlock()
 	if !was {
 		rt.marksDown.Add(1)
+	}
+	if spawn {
+		go rt.reprobeLoop(node)
+	}
+}
+
+// reprobeLoop probes a marked-down node's /healthz with jittered
+// exponential backoff until the node answers (MarkUp), leaves the
+// membership, is revived by someone else, or the router closes.
+func (rt *Router) reprobeLoop(node string) {
+	defer rt.wg.Done()
+	defer func() {
+		rt.mu.Lock()
+		delete(rt.reprobing, node)
+		rt.mu.Unlock()
+	}()
+	backoff := rt.cfg.ReprobeBase
+	for {
+		select {
+		case <-rt.done:
+			return
+		case <-time.After(rt.jitter(backoff) + backoff/4):
+		}
+		if !rt.Down(node) {
+			return // revived by Health() or gossip in the meantime
+		}
+		url, ok := rt.view.Load().urls[node]
+		if !ok {
+			return // no longer a member; nothing to revive
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		h := rt.probeHealth(ctx, url)
+		cancel()
+		if h != nil && h.Status == "ok" {
+			rt.MarkUp(node)
+			rt.revivals.Add(1)
+			return
+		}
+		if backoff *= 2; backoff > rt.cfg.ReprobeMax {
+			backoff = rt.cfg.ReprobeMax
+		}
 	}
 }
 
@@ -190,9 +384,10 @@ func (rt *Router) release(node string, n int) {
 // alive candidate when every node is at the bound. Returns "" when the
 // whole fleet is down. Allocation-free (benchmarked): the walk is
 // inlined with a bitmask visited set rather than using Ring.Walk, whose
-// closure argument would allocate per placement.
+// closure argument would allocate per placement. Placement reads one
+// view snapshot, so a concurrent membership swap cannot tear it.
 func (rt *Router) pick(key string) string {
-	r := rt.ring
+	r := rt.view.Load().ring
 	if len(r.points) == 0 {
 		return ""
 	}
@@ -273,7 +468,8 @@ const maxPeerProbes = 2
 // false return sends the local daemon to recompute — peer fetching is
 // an optimization, never a correctness dependency.
 func (rt *Router) Fetch(ctx context.Context, key string) ([]byte, bool) {
-	r := rt.ring
+	v := rt.view.Load()
+	r := v.ring
 	if len(r.points) == 0 {
 		return nil, false
 	}
@@ -294,7 +490,7 @@ func (rt *Router) Fetch(ctx context.Context, key string) ([]byte, bool) {
 		}
 		probes++
 		rt.peerProbes.Add(1)
-		if b, ok := rt.fetchFrom(ctx, n, key); ok {
+		if b, ok := rt.fetchFrom(ctx, v.urls[n], n, key); ok {
 			rt.peerHits.Add(1)
 			return b, true
 		}
@@ -302,31 +498,52 @@ func (rt *Router) Fetch(ctx context.Context, key string) ([]byte, bool) {
 	return nil, false
 }
 
-// fetchFrom asks one peer for one key (GET /v1/cache/{key}).
-func (rt *Router) fetchFrom(ctx context.Context, node, key string) ([]byte, bool) {
+// connectionRefused classifies a transport error for mark-down: true
+// for connection-level failures (refused, reset, DNS — the node or its
+// socket is gone), false for timeouts — a slow peer is not a dead peer,
+// and conflating the two is how one overloaded cache probe used to
+// quarantine a healthy node.
+func connectionRefused(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// fetchFrom asks one peer for one key (GET /v1/cache/{key}). Only a
+// connection-level failure marks the peer down: an HTTP error, a slow
+// or broken body, or a digest mismatch is a failed *fetch*, not a dead
+// *node* — the probe itself proved something is listening.
+func (rt *Router) fetchFrom(ctx context.Context, url, node, key string) ([]byte, bool) {
 	if err := rt.injectTransport(node); err != nil {
 		rt.MarkDown(node)
 		return nil, false
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		rt.cfg.Nodes[node]+"/v1/cache/"+key, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/cache/"+key, nil)
 	if err != nil {
 		return nil, false
 	}
 	resp, err := rt.cfg.HTTPClient.Do(req)
 	if err != nil {
-		rt.MarkDown(node)
+		if connectionRefused(err) {
+			rt.MarkDown(node)
+		}
 		return nil, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		// A clean miss (404) proves the node alive; only transport-level
-		// failures mark it down.
+		// A clean miss (404) — or any HTTP-level rejection — proves the
+		// node alive; placement keeps it.
 		return nil, false
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		rt.MarkDown(node)
+		// Mid-body failure: the connection answered, so the node stays
+		// placed; this fetch just loses.
 		return nil, false
 	}
 	sum := sha256.Sum256(body)
@@ -337,19 +554,25 @@ func (rt *Router) fetchFrom(ctx context.Context, node, key string) ([]byte, bool
 	return body, true
 }
 
-// Handler serves the fleet surface: job submission (routed), the
+// Handler serves the fleet surface: job submission (routed), gossip
+// endpoints (when a gossiper is attached), membership operations, the
 // /fleet/* observability rollup, and — when a local daemon is attached —
 // everything else (job status, results, metrics, health) from the local
-// daemon unchanged.
+// daemon unchanged. Call after AttachGossip.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
 	mux.HandleFunc("POST /v1/jobs/batch", rt.handleBatch)
+	mux.HandleFunc("GET /v1/cache/keys", rt.handleCacheKeys)
+	mux.HandleFunc("POST /v1/fleet/leave", rt.handleLeave)
 	mux.HandleFunc("GET /fleet/state", rt.handleFleetState)
 	mux.HandleFunc("GET /fleet/metrics", rt.handleFleetMetrics)
 	mux.HandleFunc("GET /fleet/slo", rt.handleFleetSLO)
 	mux.HandleFunc("GET /fleet/traces", rt.handleFleetTraces)
 	mux.HandleFunc("GET /fleet/nodes", rt.handleFleetNodes)
+	if rt.g != nil {
+		mux.Handle("POST /v1/gossip/", rt.g.Handler())
+	}
 	mux.HandleFunc("/", rt.handleFallthrough)
 	return mux
 }
@@ -368,6 +591,243 @@ func (rt *Router) handleFallthrough(w http.ResponseWriter, r *http.Request) {
 	}
 	writeError(w, http.StatusNotFound,
 		errors.New("fleet: standalone router: only /v1/jobs, /v1/jobs/batch and /fleet/* are served"))
+}
+
+// handleCacheKeys lists the local daemon's cached keys — all of them,
+// or with ?arc=<nodeID> only the keys that node would own in a ring
+// extended with it. A joiner warming up asks each member
+// /v1/cache/keys?arc=<joiner> and receives exactly its future arc,
+// computed here, next to the data, instead of shipping every key list
+// across the network to filter at the joiner.
+func (rt *Router) handleCacheKeys(w http.ResponseWriter, r *http.Request) {
+	if rt.local == nil {
+		writeJSON(w, http.StatusOK, struct {
+			Keys []string `json:"keys"`
+		}{[]string{}})
+		return
+	}
+	keys := rt.local.CacheKeys()
+	if arc := r.URL.Query().Get("arc"); arc != "" {
+		v := rt.view.Load()
+		ids := make([]string, 0, len(v.urls)+1)
+		seen := false
+		for id := range v.urls {
+			if id == arc {
+				seen = true
+			}
+			ids = append(ids, id)
+		}
+		if !seen {
+			ids = append(ids, arc)
+		}
+		candidate := NewRing(ids, rt.cfg.Vnodes)
+		filtered := keys[:0]
+		for _, k := range keys {
+			if candidate.Lookup(k) == arc {
+				filtered = append(filtered, k)
+			}
+		}
+		keys = filtered
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Keys []string `json:"keys"`
+	}{keys})
+}
+
+// withRetry runs f with full-jitter backoff — the warm-up and handoff
+// I/O policy: a membership change is exactly when the network is busy,
+// so failed pushes spread their retries.
+func (rt *Router) withRetry(ctx context.Context, attempts int, base, max time.Duration, f func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		backoff := base << uint(i)
+		if backoff > max {
+			backoff = max
+		}
+		select {
+		case <-time.After(rt.jitter(backoff) + time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return err
+}
+
+// JoinAndWarm joins a running fleet through the seed URLs and warms this
+// node's future arc before taking placement: fetch the membership
+// snapshot, learn the ring, pull the arc's cached keys from their
+// current owners (SHA-verified), and only then announce. The fleet
+// routes to this node only after the announce, so a join never exposes
+// a cold cache to traffic it wasn't serving before.
+func (rt *Router) JoinAndWarm(ctx context.Context, seeds []string) error {
+	if rt.g == nil {
+		return errors.New("fleet: JoinAndWarm requires an attached gossiper")
+	}
+	if err := rt.g.Join(ctx, seeds); err != nil {
+		return fmt.Errorf("fleet: join: %w", err)
+	}
+	// The join snapshot fired SetMembership (self excluded — not yet
+	// announced). Everything this node would own in the grown ring is
+	// currently owned by these members; pull it over.
+	v := rt.view.Load()
+	ids := make([]string, 0, len(v.urls))
+	for id := range v.urls {
+		if id != rt.cfg.Self {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	warmed := 0
+	if rt.local != nil {
+		for _, id := range ids {
+			keys, err := rt.fetchArcKeys(ctx, v.urls[id], rt.cfg.Self)
+			if err != nil {
+				continue // warm-up is best-effort; the peer tier catches misses
+			}
+			for _, key := range keys {
+				if b, ok := rt.fetchFrom(ctx, v.urls[id], id, key); ok {
+					rt.local.WarmCache(key, b)
+					warmed++
+				}
+			}
+		}
+	}
+	rt.rec().Add("fleet.gossip.warmup.keys", int64(warmed))
+	rt.g.Announce(ctx)
+	return nil
+}
+
+// fetchArcKeys asks one member for the keys this node's arc would own.
+func (rt *Router) fetchArcKeys(ctx context.Context, url, arc string) ([]string, error) {
+	var keys []string
+	err := rt.withRetry(ctx, 3, 50*time.Millisecond, time.Second, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			url+"/v1/cache/keys?arc="+arc, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := rt.cfg.HTTPClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fleet: cache keys: status %d", resp.StatusCode)
+		}
+		var body struct {
+			Keys []string `json:"keys"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&body); err != nil {
+			return err
+		}
+		keys = body.Keys
+		return nil
+	})
+	return keys, err
+}
+
+// Leave departs the fleet gracefully: broadcast the intent (the fleet
+// re-rings without this node), hand the local cache's keys to their new
+// owners, then drain in-flight jobs. Request flow during the sequence
+// never fails client-visibly — until the broadcast lands peers still
+// route here and are served; after it they route around; the handoff
+// pre-warms the successors so the arc's hit rate survives the exit; and
+// the drain finishes everything already accepted. Idempotent: a second
+// Leave waits for the first.
+func (rt *Router) Leave(ctx context.Context) error {
+	rt.leaveOnce.Do(func() { rt.leaveErr = rt.doLeave(ctx) })
+	return rt.leaveErr
+}
+
+func (rt *Router) doLeave(ctx context.Context) error {
+	if rt.g != nil {
+		rt.g.Leave(ctx)
+	}
+	// Handoff: push every locally cached key to its owner in the
+	// post-leave ring. Best-effort per key (the chaos site models a push
+	// dying mid-handoff): a dropped key costs the successor one
+	// recompute, never correctness.
+	if rt.local != nil {
+		v := rt.view.Load()
+		if v.ring.Len() > 0 {
+			handed := 0
+			for _, key := range rt.local.CacheKeys() {
+				owner := v.ring.Lookup(key)
+				if owner == "" || owner == rt.cfg.Self {
+					continue
+				}
+				if rt.cfg.Chaos.Fire(FaultHandoffAbort) {
+					rt.rec().Add("fleet.gossip.handoff.aborts", 1)
+					continue
+				}
+				if rt.pushKey(ctx, v.urls[owner], key) == nil {
+					handed++
+				}
+			}
+			rt.rec().Add("fleet.gossip.handoff.keys", int64(handed))
+		}
+		if err := rt.local.Drain(ctx); err != nil {
+			return fmt.Errorf("fleet: leave: drain: %w", err)
+		}
+	}
+	return nil
+}
+
+// pushKey PUTs one cached result to a successor, digest attached.
+func (rt *Router) pushKey(ctx context.Context, url, key string) error {
+	body, ok := rt.local.CachePeek(key)
+	if !ok {
+		return errors.New("fleet: key evicted mid-handoff")
+	}
+	sum := sha256.Sum256(body)
+	digest := hex.EncodeToString(sum[:])
+	return rt.withRetry(ctx, 3, 50*time.Millisecond, time.Second, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			url+"/v1/cache/"+key, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Labd-Sha256", digest)
+		resp, err := rt.cfg.HTTPClient.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fleet: handoff put: status %d", resp.StatusCode)
+		}
+		return nil
+	})
+}
+
+// handleLeave serves POST /v1/fleet/leave: run the graceful departure
+// synchronously and confirm once drained, so the caller knows the node
+// is safe to stop. AfterLeave (process shutdown) runs after the
+// response is on the wire.
+func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if err := rt.Leave(r.Context()); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Node   string `json:"node,omitempty"`
+		Epoch  uint64 `json:"epoch"`
+	}{"left", rt.cfg.Self, rt.Epoch()})
+	if rt.cfg.AfterLeave != nil {
+		go rt.cfg.AfterLeave()
+	}
 }
 
 // serveLocal hands a request to the co-resident daemon, restoring the
@@ -415,7 +875,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	for attempt := 0; attempt < rt.ring.Len(); attempt++ {
+	for attempt := 0; attempt < rt.Ring().Len(); attempt++ {
 		owner := rt.pick(key)
 		if owner == "" {
 			break
@@ -447,8 +907,13 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node string, b
 		rt.MarkDown(node)
 		return false
 	}
+	url, ok := rt.view.Load().urls[node]
+	if !ok {
+		// The node left between pick and forward; re-route.
+		return false
+	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		rt.cfg.Nodes[node]+r.URL.RequestURI(), bytes.NewReader(body))
+		url+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return true
@@ -476,14 +941,15 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node string, b
 	return true
 }
 
-// Health probes every node's /healthz (the local daemon directly),
-// updating the down set from what it finds, and returns the readings
-// keyed by node ID (nil entry = unreachable).
+// Health probes every placed node's /healthz (the local daemon
+// directly), updating the down set from what it finds, and returns the
+// readings keyed by node ID (nil entry = unreachable).
 func (rt *Router) Health(ctx context.Context) map[string]*labd.HealthStatus {
-	out := make(map[string]*labd.HealthStatus, len(rt.cfg.Nodes))
+	v := rt.view.Load()
+	out := make(map[string]*labd.HealthStatus, len(v.urls))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for id, url := range rt.cfg.Nodes {
+	for id, url := range v.urls {
 		if id == rt.cfg.Self && rt.local != nil {
 			h := rt.local.Health()
 			mu.Lock()
@@ -530,15 +996,18 @@ func (rt *Router) probeHealth(ctx context.Context, url string) *labd.HealthStatu
 
 // RouterStats snapshots the router's own counters for /fleet/nodes.
 type RouterStats struct {
-	Forwards      int64 `json:"forwards"`
-	LocalJobs     int64 `json:"local_jobs"`
-	Reroutes      int64 `json:"reroutes"`
-	MarksDown     int64 `json:"marks_down"`
-	Kills         int64 `json:"injected_kills"`
-	Partitions    int64 `json:"injected_partitions"`
-	PeerProbes    int64 `json:"peer_probes"`
-	PeerHits      int64 `json:"peer_hits"`
-	PendingRouted int   `json:"pending_routed"`
+	Forwards      int64  `json:"forwards"`
+	LocalJobs     int64  `json:"local_jobs"`
+	Reroutes      int64  `json:"reroutes"`
+	MarksDown     int64  `json:"marks_down"`
+	Revivals      int64  `json:"revivals"`
+	Epoch         uint64 `json:"epoch"`
+	EpochSwaps    int64  `json:"epoch_swaps"`
+	Kills         int64  `json:"injected_kills"`
+	Partitions    int64  `json:"injected_partitions"`
+	PeerProbes    int64  `json:"peer_probes"`
+	PeerHits      int64  `json:"peer_hits"`
+	PendingRouted int    `json:"pending_routed"`
 }
 
 // Stats snapshots the router counters.
@@ -554,6 +1023,9 @@ func (rt *Router) Stats() RouterStats {
 		LocalJobs:     rt.localJobs.Load(),
 		Reroutes:      rt.reroutes.Load(),
 		MarksDown:     rt.marksDown.Load(),
+		Revivals:      rt.revivals.Load(),
+		Epoch:         rt.Epoch(),
+		EpochSwaps:    rt.epochSwaps.Load(),
 		Kills:         rt.kills.Load(),
 		Partitions:    rt.partitions.Load(),
 		PeerProbes:    rt.peerProbes.Load(),
@@ -562,12 +1034,13 @@ func (rt *Router) Stats() RouterStats {
 	}
 }
 
-// aliveNodes returns the node IDs not marked down, sorted.
+// aliveNodes returns the placed node IDs not marked down, sorted.
 func (rt *Router) aliveNodes() []string {
+	v := rt.view.Load()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	out := make([]string, 0, len(rt.cfg.Nodes))
-	for _, n := range rt.ring.nodes {
+	out := make([]string, 0, len(v.urls))
+	for _, n := range v.ring.nodes {
 		if !rt.down[n] {
 			out = append(out, n)
 		}

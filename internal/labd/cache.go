@@ -179,6 +179,24 @@ func (c *resultCache) len() int {
 	return c.lru.Len()
 }
 
+// seed stores externally-obtained bytes under key — the write side of
+// the fleet warm-up and handoff paths, where a peer pushes (or a joiner
+// pulls) results it already verified. Write-through to disk like a
+// completed flight, but no flight is involved: a concurrent flight for
+// the same key finishes on its own and re-inserts the identical bytes
+// (content addressing makes the collision harmless).
+func (c *resultCache) seed(key string, bytes []byte) {
+	c.mu.Lock()
+	c.insert(key, bytes)
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		if err := disk.write(key, bytes); err != nil {
+			log.Printf("labd: cache seed write-through %.12s…: %v", key, err)
+		}
+	}
+}
+
 // keys returns the stored keys, most recently used first.
 func (c *resultCache) keys() []string {
 	c.mu.Lock()

@@ -333,7 +333,11 @@ func idempotent(req *http.Request) bool {
 	case http.MethodGet, http.MethodHead:
 		return true
 	case http.MethodPost:
-		return strings.HasSuffix(req.URL.Path, "/v1/jobs")
+		// /v1/jobs is idempotent by content address; /v1/fleet/leave
+		// because leaving twice is the same departure (the membership
+		// delta and the drain are both idempotent).
+		return strings.HasSuffix(req.URL.Path, "/v1/jobs") ||
+			strings.HasSuffix(req.URL.Path, "/v1/fleet/leave")
 	}
 	return false
 }
@@ -655,6 +659,21 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*labd
 func (c *Client) Cancel(ctx context.Context, id string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
 		c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.do(req, http.StatusOK)
+	return err
+}
+
+// Leave asks a fleet node to leave gracefully (POST /v1/fleet/leave):
+// broadcast departure, hand its cache arc to successors, drain in-flight
+// jobs, then confirm. The call returns when the node has fully drained,
+// so give ctx room for the slowest in-flight job. Only fleet routers
+// serve this route; a plain daemon answers 404.
+func (c *Client) Leave(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/fleet/leave", nil)
 	if err != nil {
 		return err
 	}

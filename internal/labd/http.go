@@ -23,7 +23,9 @@ import (
 //	GET    /v1/jobs/{id}     job status
 //	GET    /v1/jobs/{id}/result   result bytes (byte-identical to sync)
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/cache/keys    in-memory cache keys, MRU first (warm-up)
 //	GET    /v1/cache/{key}   cached result bytes (peer cache tier)
+//	PUT    /v1/cache/{key}   accept handed-off bytes (verified digest)
 //	GET    /v1/state         mergeable observability snapshot (fleet)
 //	GET    /metrics          Prometheus text format
 //	GET    /healthz          liveness + drain state + cache-tier counts
@@ -44,7 +46,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache/keys", s.handleCacheKeys)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/state", s.handleState)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -429,6 +433,44 @@ func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Labd-Sha256", hex.EncodeToString(sum[:]))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(bytes)
+}
+
+// handleCacheKeys lists the keys this node holds in memory, MRU-first —
+// the inventory a joiner (or a router filtering by ring arc) walks to
+// warm a cache before taking placement.
+func (s *Server) handleCacheKeys(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Keys []string `json:"keys"`
+	}{s.CacheKeys()})
+}
+
+// handleCachePut accepts result bytes pushed by a peer — the write side
+// of the graceful-leave handoff, where a departing node hands its arc's
+// hot keys to their successors. The mandatory X-Labd-Sha256 digest is
+// verified before the bytes are trusted, mirroring the read side's
+// verified fetch.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	want := r.Header.Get("X-Labd-Sha256")
+	if want == "" {
+		writeError(w, http.StatusBadRequest,
+			errors.New("labd: cache put requires an X-Labd-Sha256 digest"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != want {
+		s.rec.Add("labd.cache.corruptions.detected", 1)
+		writeError(w, http.StatusBadRequest,
+			errors.New("labd: cache put digest mismatch; bytes rejected"))
+		return
+	}
+	s.cache.seed(r.PathValue("key"), body)
+	s.rec.Add("labd.cache.handoff.received", 1)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleState serves the mergeable observability snapshot the fleet

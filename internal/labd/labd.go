@@ -752,6 +752,23 @@ func (s *Server) DiskCacheEntries() int {
 	return s.cache.disk.entries()
 }
 
+// CacheKeys returns the in-memory cache's keys, most recently used
+// first — the inventory a fleet router walks when a joiner warms its arc
+// or a leaver hands its keys to successors.
+func (s *Server) CacheKeys() []string { return s.cache.keys() }
+
+// CachePeek returns a key's stored result bytes from the local tiers
+// (memory, then verified disk) without electing a flight — the read
+// side of the leave handoff, which ships stored bytes to successors.
+func (s *Server) CachePeek(key string) ([]byte, bool) { return s.cache.peek(key) }
+
+// WarmCache stores result bytes obtained from a peer (already
+// SHA-verified by the caller) into the local cache tiers.
+func (s *Server) WarmCache(key string, bytes []byte) {
+	s.cache.seed(key, bytes)
+	s.rec.Add("labd.cache.warmed", 1)
+}
+
 // Recorder exposes the daemon's telemetry recorder (counters and job
 // latency spans).
 func (s *Server) Recorder() *telemetry.Recorder { return s.rec }
