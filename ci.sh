@@ -42,6 +42,16 @@ go test -race -count=1 -run 'TestFleetChaosNodeKillByteIdentity|TestFleetPeerCac
 go test -race -count=1 -run 'TestFleetChurnByteIdentity' ./internal/fleet/
 go test -race -count=1 -run 'TestStallRefutedNotDeclaredDead|TestDeathAndRecovery|TestJoinAnnounceLeaveLifecycle' ./internal/fleet/gossip/
 go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint|BenchmarkNoopTracePoint' -benchtime=1x ./...
+# Parallel-kernel determinism matrix under the race detector: the
+# sharded ensemble must be byte-identical at any worker count (kernel
+# digest sweep, JVM ensemble vs standalone, and the cluster's
+# GOMAXPROCS × workers digest matrix), and the seed-42 evaluation
+# digest pins the event-driven cassandra driver to the legacy byte
+# sequence.
+go test -race -count=1 -run 'TestShardsDeterministicAtAnyWorkerCount|TestPostBand' ./internal/event/
+go test -race -count=1 -run 'TestEnsembleByteIdentity' ./internal/jvm/
+go test -race -count=1 -run 'TestClusterDigestMatrix' ./internal/cluster/
+go test -count=1 -run 'TestSeed42EvaluationDigest' ./internal/core/
 
 # bench-gate: re-measure the kernel-bound artifact benchmarks (without
 # -race; the gate measures the product, not the detector) and compare.
@@ -49,6 +59,7 @@ go build -o /tmp/benchdiff ./cmd/benchdiff
 {
   go test -run=NONE -bench 'BenchmarkFigure3Ranking' -benchmem -benchtime=5x -count=2 .
   go test -run=NONE -bench 'BenchmarkSimulatedHour' -benchmem -benchtime=10x -count=2 ./internal/jvm/
+  go test -run=NONE -bench 'BenchmarkClusterStep' -benchmem -benchtime=3x -count=2 ./internal/cluster/
   go test -run=NONE -bench 'BenchmarkColdRun|BenchmarkCacheHit' -benchmem -count=2 ./internal/labd/
   go test -run=NONE -bench 'BenchmarkScheduleFire|BenchmarkScheduleCancel' -benchmem -count=2 ./internal/event/
   go test -run=NONE -bench 'BenchmarkHDRRecord|BenchmarkHDRQuantile' -benchmem -count=2 ./internal/hdrhist/

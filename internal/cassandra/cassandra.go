@@ -17,17 +17,13 @@ import (
 	"fmt"
 	"math"
 
-	"jvmgc/internal/collector"
-	"jvmgc/internal/demography"
+	"jvmgc/internal/event"
 	"jvmgc/internal/gclog"
 	"jvmgc/internal/gcmodel"
 	"jvmgc/internal/hdrhist"
-	"jvmgc/internal/heapmodel"
-	"jvmgc/internal/jvm"
 	"jvmgc/internal/machine"
 	"jvmgc/internal/simtime"
 	"jvmgc/internal/telemetry"
-	"jvmgc/internal/xrand"
 )
 
 // Config parameterizes a Cassandra node simulation.
@@ -239,195 +235,17 @@ type Result struct {
 }
 
 // Run simulates the node: optional commitlog replay, then Duration of
-// client-driven load, flushing per configuration.
+// client-driven load, flushing per configuration. It is the one-node
+// sequential form of NewNode/Start: the node is mounted on a private
+// wheel and stepped to completion on the calling goroutine.
 func Run(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	colCfg := collector.Config{Machine: cfg.Machine, G1PauseTarget: cfg.G1PauseTarget}
-	if cfg.Costs != nil {
-		colCfg.Costs = *cfg.Costs
-	}
-	col, err := collector.New(cfg.CollectorName, colCfg)
+	n, err := NewNode(cfg, event.New())
 	if err != nil {
 		return Result{}, err
 	}
-	rng := xrand.New(cfg.Seed).SplitLabeled("cassandra/" + cfg.CollectorName)
-
-	res := Result{Config: cfg}
-	// The record curve gains ~400 duration-spaced samples plus endpoints.
-	res.Records = make([]RecordPoint, 0, 404)
-	ctrFlushes := cfg.Recorder.CounterHandle("cassandra.flushes")
-	ctrFlushedBytes := cfg.Recorder.CounterHandle("cassandra.flushed_bytes")
-	ctrCompactions := cfg.Recorder.CounterHandle("cassandra.compactions")
-
-	// Workload shape: writes deposit HeapPerRecord of long-lived bytes in
-	// the memtable; every op allocates TransientPerOp of short/medium
-	// garbage.
-	writeRate := cfg.OpsPerSec * cfg.WriteFraction
-	longRate := writeRate * float64(cfg.HeapPerRecord)
-	transientRate := cfg.OpsPerSec * float64(cfg.TransientPerOp)
-	allocRate := longRate + transientRate
-	longFrac := 0.0
-	if allocRate > 0 {
-		longFrac = longRate / allocRate
-	}
-	// Transient garbage: mostly request-scoped, a configured slice of
-	// per-request state alive for MeanMedium.
-	shortFrac := (1 - longFrac) * (1 - cfg.MediumFrac)
-	mediumFrac := (1 - longFrac) * cfg.MediumFrac
-
-	w := jvm.Workload{
-		Threads:   cfg.ClientThreads,
-		AllocRate: allocRate,
-		Profile: demography.Profile{
-			ShortFrac:  shortFrac,
-			MeanShort:  100 * simtime.Millisecond,
-			MediumFrac: mediumFrac,
-			MeanMedium: cfg.MeanMedium,
-		},
-	}
-	j := jvm.New(jvm.Config{
-		Machine:   cfg.Machine,
-		Collector: col,
-		Geometry: heapmodel.Geometry{
-			Heap: cfg.Heap, Young: cfg.Young,
-			SurvivorRatio: heapmodel.DefaultSurvivorRatio,
-		},
-		// The paper pins -Xmn for the throughput collectors; G1 keeps its
-		// pause-target-driven sizing (fixing G1's young disables its pause
-		// goal, which no deployment does).
-		YoungExplicit:  col.Name() != "G1",
-		Recorder:       cfg.Recorder,
-		StreamingStats: cfg.StreamingStats,
-		Seed:           rng.Uint64(),
-	}, w)
-
-	// Commitlog replay: apply the preloaded data at replay speed. Replay
-	// writes flow through the young generation like client writes, but at
-	// ReplayOpsPerSec.
-	var memtable, retained float64
-	var records int64
-	var pendingSSTables, compactionLeft int
-	if cfg.PreloadBytes > 0 && longFrac > 0 {
-		// Replay applies the commitlog at ReplayOpsPerSec writes per
-		// second. The JVM's lifetime profile is fixed for the run, so the
-		// replay allocation rate is scaled such that the profile's
-		// long-lived slice reproduces the replay's memtable build rate
-		// (the remainder models decode garbage, which replay produces in
-		// abundance).
-		replayLong := cfg.ReplayOpsPerSec * float64(cfg.HeapPerRecord)
-		j.SetAllocRate(replayLong / longFrac)
-		replaySeconds := float64(cfg.PreloadBytes) / replayLong
-		start := j.Now()
-		j.RunFor(simtime.Seconds(replaySeconds))
-		res.ReplayDuration = j.Now().Sub(start)
-		if cfg.Recorder != nil {
-			cfg.Recorder.Span(telemetry.TrackCassandra, "commitlog-replay",
-				start, res.ReplayDuration, 0,
-				telemetry.ByteCount("replayed", cfg.PreloadBytes),
-			)
-			cfg.Recorder.Add("cassandra.replayed_bytes", int64(cfg.PreloadBytes))
-		}
-		memtable = float64(cfg.PreloadBytes)
-		records = int64(cfg.PreloadBytes / cfg.HeapPerRecord)
-		j.SetAllocRate(allocRate)
-		res.Records = append(res.Records, RecordPoint{Time: j.Now(), Records: records})
-	}
-
-	// Client-driven phase, advanced in slices so flush checks and record
-	// sampling stay cheap.
-	const slice = 5 * simtime.Second
-	deadline := j.Now().Add(cfg.Duration)
-	lastProgress := j.Progress()
-	sampleEvery := cfg.Duration / 400
-	if sampleEvery < slice {
-		sampleEvery = slice
-	}
-	nextSample := j.Now()
-	for j.Now() < deadline {
-		step := slice
-		if remaining := deadline.Sub(j.Now()); remaining < step {
-			step = remaining
-		}
-		j.RunFor(step)
-
-		// Work actually performed this slice (pauses freeze progress).
-		progressed := j.Progress() - lastProgress
-		lastProgress = j.Progress()
-		res.OpsCompleted += int64(progressed * cfg.OpsPerSec)
-		written := progressed * writeRate * float64(cfg.HeapPerRecord)
-		memtable += written
-		records += int64(progressed * writeRate)
-
-		// Flush when the memtable exceeds its budget. A flush writes the
-		// SSTable out and releases the memtable objects, retaining caches.
-		if memtable >= float64(cfg.MemtableBudget) && cfg.MemtableBudget < cfg.Heap {
-			releasable := memtable * (1 - cfg.RetentionFrac)
-			totalLong := memtable + retained
-			if totalLong > 0 {
-				j.ReleaseLongLived(releasable / totalLong)
-			}
-			res.Flushes = append(res.Flushes, FlushEvent{
-				Time: j.Now(), Released: machine.Bytes(releasable),
-			})
-			if cfg.Recorder != nil {
-				cfg.Recorder.Span(telemetry.TrackCassandra, "memtable-flush",
-					j.Now(), 0, 0,
-					telemetry.ByteCount("released", machine.Bytes(releasable)),
-					telemetry.ByteCount("retained", machine.Bytes(memtable*cfg.RetentionFrac)),
-				)
-				ctrFlushes.Add(1)
-				ctrFlushedBytes.Add(int64(releasable))
-			}
-			retained += memtable * cfg.RetentionFrac
-			memtable = 0
-			pendingSSTables++
-		}
-
-		// Background compaction: once enough SSTables pile up, the merge
-		// occupies CompactionThreads cores for a number of slices
-		// proportional to the merged volume.
-		if cfg.CompactionThreads > 0 {
-			switch {
-			case compactionLeft > 0:
-				compactionLeft--
-				if compactionLeft == 0 {
-					j.SetBackgroundCPU(0)
-				}
-			case pendingSSTables >= cfg.CompactionThreshold:
-				// Merging threshold×budget bytes at ~150 MB/s/thread.
-				mergeBytes := float64(pendingSSTables) * float64(cfg.MemtableBudget)
-				secs := mergeBytes / (150e6 * float64(cfg.CompactionThreads))
-				compactionLeft = int(secs/slice.Seconds()) + 1
-				pendingSSTables = 0
-				res.Compactions++
-				if cfg.Recorder != nil {
-					cfg.Recorder.Span(telemetry.TrackCassandra, "compaction",
-						j.Now(), simtime.Duration(compactionLeft)*slice, 0,
-						telemetry.ByteCount("merged", machine.Bytes(mergeBytes)),
-						telemetry.Num("threads", float64(cfg.CompactionThreads)),
-					)
-					ctrCompactions.Add(1)
-				}
-				j.SetBackgroundCPU(cfg.CompactionThreads)
-			}
-		}
-
-		if j.Now() >= nextSample {
-			res.Records = append(res.Records, RecordPoint{Time: j.Now(), Records: records})
-			nextSample = j.Now().Add(sampleEvery)
-		}
-	}
-	if n := len(res.Records); n == 0 || res.Records[n-1].Time < j.Now() {
-		res.Records = append(res.Records, RecordPoint{Time: j.Now(), Records: records})
-	}
-	res.TotalDuration = j.Now().Sub(0)
-	res.Log = j.Log()
-	res.FinalOldLive = j.OldLive()
-	res.PauseHist = j.PauseDistribution()
-	if cfg.Recorder != nil {
-		cfg.Recorder.Add("cassandra.ops_completed", res.OpsCompleted)
-	}
-	return res, nil
+	n.Start()
+	n.clock.RunAll()
+	return n.Result(), nil
 }
 
 // RecordsAt returns the database size at instant t by stepping the sample

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"jvmgc/internal/cassandra"
+	"jvmgc/internal/event"
 	"jvmgc/internal/simtime"
 	"jvmgc/internal/stats"
 	"jvmgc/internal/xrand"
@@ -80,7 +81,17 @@ type Config struct {
 	ClientOpsPerSec float64
 	// BaseLatencyMS is the no-pause service time per replica.
 	BaseLatencyMS float64
-	Seed          uint64
+	// Workers is the number of goroutines stepping the ring's node
+	// simulations in parallel (each node is one shard of an event.Shards
+	// ensemble). 0 auto-detects from the host (one worker per schedulable
+	// core, at most one per node); 1 forces the exact sequential path.
+	// The result is byte-identical at any worker count — nodes interact
+	// only through the post-hoc client analysis — so Workers is purely a
+	// wall-clock knob. A shared Node.Recorder forces Workers to 1, since
+	// concurrent nodes would interleave their telemetry streams
+	// nondeterministically.
+	Workers int
+	Seed    uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -121,15 +132,34 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Config: cfg, PerLevel: map[ConsistencyLevel]stats.BandReport{}}
 
 	// Run the nodes. Identical configuration, independent seeds: the GC
-	// schedules desynchronize as they would in production.
-	horizon := simtime.Duration(0)
-	for n := 0; n < cfg.Nodes; n++ {
+	// schedules desynchronize as they would in production. Each node is
+	// one shard of an ensemble, stepped by Workers goroutines in lockstep
+	// epochs; nodes only interact through the post-hoc client analysis
+	// below, so the results are byte-identical at any worker count.
+	workers := cfg.Workers
+	if cfg.Node.Recorder != nil {
+		workers = 1
+	}
+	g := event.NewShards(cfg.Nodes, workers)
+	nodes := make([]*cassandra.Node, cfg.Nodes)
+	for n := range nodes {
 		nodeCfg := cfg.Node
 		nodeCfg.Seed = cfg.Seed + uint64(n)*99991
-		nr, err := cassandra.Run(nodeCfg)
+		node, err := cassandra.NewNode(nodeCfg, g.Shard(n))
 		if err != nil {
 			return res, fmt.Errorf("node %d: %w", n, err)
 		}
+		g.SetShardLabel(n, fmt.Sprintf("node%d/%s", n, node.Result().Config.CollectorName))
+		nodes[n] = node
+		node.Start()
+	}
+	g.RunAll()
+	horizon := simtime.Duration(0)
+	for n, node := range nodes {
+		if !node.Done() {
+			return res, fmt.Errorf("node %d halted before completing its run", n)
+		}
+		nr := node.Result()
 		res.Nodes = append(res.Nodes, nr)
 		if nr.TotalDuration > horizon {
 			horizon = nr.TotalDuration

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"jvmgc/internal/cassandra"
+	"jvmgc/internal/machine"
+	"jvmgc/internal/simtime"
+)
+
+// resultDigest reduces a cluster run to a byte-exact fingerprint: every
+// node's full GC log, flush/compaction history and counters, plus the
+// per-level client latency reports.
+func resultDigest(r Result) string {
+	h := sha256.New()
+	for _, nr := range r.Nodes {
+		fmt.Fprintln(h, nr.Log.String())
+		fmt.Fprintln(h, nr.ReplayDuration, nr.TotalDuration, nr.Compactions,
+			nr.FinalOldLive, nr.OpsCompleted)
+		for _, f := range nr.Flushes {
+			fmt.Fprintln(h, f.Time, f.Released)
+		}
+		for _, p := range nr.Records {
+			fmt.Fprintln(h, p.Time, p.Records)
+		}
+	}
+	for _, lvl := range []ConsistencyLevel{One, Quorum, All} {
+		rep := r.PerLevel[lvl]
+		fmt.Fprintln(h, lvl, rep.N, rep.AvgMS, rep.MaxMS)
+	}
+	fmt.Fprintln(h, r.SuspicionsTotal)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestClusterDigestMatrix is the cluster's half of the determinism
+// contract, swept across the full matrix the issue pins: the run digest
+// must be byte-identical at GOMAXPROCS 1, 2 and 4 crossed with worker
+// counts 1, 2 and 4 (workers=1 being the exact legacy sequential path).
+func TestClusterDigestMatrix(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	cfg := testConfig("G1")
+	cfg.Node.Duration = 10 * simtime.Minute
+	var want string
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 2, 4} {
+			c := cfg
+			c.Workers = workers
+			res, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := resultDigest(res)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("GOMAXPROCS=%d workers=%d: digest %s diverged from baseline %s",
+					procs, workers, got[:12], want[:12])
+			}
+		}
+	}
+}
+
+// BenchmarkClusterStep measures stepping a 4-node ring (no client
+// analysis beyond the run itself) with auto-detected workers; on a
+// >= 4-core host this should scale near-linearly with the node count
+// since the nodes share nothing between safepoints.
+func BenchmarkClusterStep(b *testing.B) {
+	node := cassandra.DefaultConfig("G1", 5*simtime.Minute)
+	node.Heap = 16 * machine.GB
+	node.Young = 3 * machine.GB
+	node.WriteFraction = 0.5
+	cfg := Config{
+		Nodes:             4,
+		ReplicationFactor: 3,
+		Node:              node,
+		ClientOpsPerSec:   120,
+		Seed:              17,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -135,12 +135,15 @@ func NewTracker(p Profile) *Tracker {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
+	// One backing array serves both generations' steady-state capacity;
+	// an append past either cap reallocates just that slice.
+	backing := make([]cohort, 16)
 	return &Tracker{
 		p:             p,
 		meanShortSec:  p.MeanShort.Seconds(),
 		meanMediumSec: p.MeanMedium.Seconds(),
-		young:         make([]cohort, 0, 8),
-		old:           make([]cohort, 0, 8),
+		young:         backing[0:0:8],
+		old:           backing[8:8:16],
 	}
 }
 

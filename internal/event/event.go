@@ -10,7 +10,11 @@
 // milliseconds to seconds of wall time.
 //
 // Ties (events at the same instant) fire in scheduling order, which keeps
-// runs reproducible regardless of queue internals.
+// runs reproducible regardless of queue internals. SchedulePost places an
+// event in a late band: at equal instants it fires after every normally
+// scheduled event, which lets an experiment driver observe the simulation
+// exactly as a sequential Run-to-deadline-then-inspect loop would, while
+// living on the wheel itself (see Shards for why drivers want that).
 //
 // Steady-state stepping is allocation-free: fired and cancelled Event
 // objects are recycled through a free list, and the priority queue is a
@@ -58,6 +62,13 @@ type Event struct {
 	handler Handler
 }
 
+// postBand is OR-ed into the sequence number of events scheduled with
+// SchedulePost. The heap orders ties by seq, so the high bit pushes a
+// post-band event after every normal event at the same instant while
+// preserving scheduling order within the band. The plain counter would
+// need 2^63 schedules to collide with it.
+const postBand = uint64(1) << 63
+
 // Time returns the instant the event is (or was) scheduled for.
 func (e *Event) Time() simtime.Time { return e.at }
 
@@ -79,10 +90,12 @@ type Sim struct {
 func New() *Sim {
 	// Pre-size the heap and free list for the common steady state (a JVM
 	// keeps a handful of events in flight); short-lived sims in experiment
-	// sweeps then never regrow either slice.
+	// sweeps then never regrow either slice. Both live in one backing
+	// array — an append past either cap reallocates just that slice.
+	backing := make([]*Event, 16)
 	return &Sim{
-		queue: make([]*Event, 0, 8),
-		free:  make([]*Event, 0, 8),
+		queue: backing[0:0:8],
+		free:  backing[8:8:16],
 	}
 }
 
@@ -105,6 +118,29 @@ func (s *Sim) PoolSize() int { return len(s.free) }
 // reordering time would corrupt results. The returned handle is valid
 // only until the event fires or is cancelled.
 func (s *Sim) Schedule(at simtime.Time, h Handler) *Event {
+	return s.schedule(at, h, 0)
+}
+
+// SchedulePost registers h to run at instant at, in the post band: among
+// events at the same instant it fires after every normally scheduled
+// event (and post events keep scheduling order among themselves).
+// Experiment drivers mounted on the wheel use this so their
+// inspect-and-react logic observes the simulation exactly as a
+// Run(deadline)-then-inspect loop outside the wheel would.
+func (s *Sim) SchedulePost(at simtime.Time, h Handler) *Event {
+	return s.schedule(at, h, postBand)
+}
+
+// SchedulePostFunc is SchedulePost for a plain function.
+func (s *Sim) SchedulePostFunc(at simtime.Time, f func()) *Event {
+	if f == nil {
+		panic("event: schedule with nil handler")
+	}
+	return s.schedule(at, Func(f), postBand)
+}
+
+// schedule is the common Schedule/SchedulePost path.
+func (s *Sim) schedule(at simtime.Time, h Handler, band uint64) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("event: schedule at %v before now %v", at, s.now))
 	}
@@ -127,7 +163,7 @@ func (s *Sim) Schedule(at simtime.Time, h Handler) *Event {
 		e = &batch[0]
 	}
 	e.at = at
-	e.seq = s.seq
+	e.seq = s.seq | band
 	e.handler = h
 	s.seq++
 	s.push(e)
@@ -175,6 +211,20 @@ func (s *Sim) Cancel(e *Event) {
 // events remain queued.
 func (s *Sim) Halt() { s.halted = true }
 
+// Halted reports whether the most recent Run was stopped by Halt (Run
+// clears the flag on entry). A sharded ensemble uses it to retire a
+// wheel whose driver declared the simulation complete.
+func (s *Sim) Halted() bool { return s.halted }
+
+// NextAt returns the instant of the earliest pending event, and whether
+// one exists.
+func (s *Sim) NextAt() (simtime.Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 // Step executes the single earliest pending event, advancing the clock.
 // It reports whether an event was executed. The fired event is recycled
 // after its handler returns, so a handle checked immediately after Step
@@ -213,7 +263,9 @@ func (s *Sim) Run(deadline simtime.Time) uint64 {
 			break
 		}
 		if s.queue[0].at > deadline {
-			s.now = deadline
+			if deadline > s.now {
+				s.now = deadline
+			}
 			break
 		}
 		s.Step()

@@ -1,0 +1,210 @@
+// Sharded stepping: one logical simulation, many wheels, many workers.
+//
+// A Shards ensemble owns N event wheels (one per shard: a simulated JVM,
+// a NUMA node's mutator group — any component cluster whose handlers
+// touch only shard-local state) plus one barrier wheel for global
+// safepoints. Between safepoints the shards are advanced independently,
+// by a pool of worker goroutines; at a safepoint every shard has reached
+// exactly the barrier instant and the barrier events are drained in
+// (at, seq) order on the coordinating goroutine, single-threaded, so
+// cross-shard interactions see a deterministic, sequential world.
+//
+// Determinism contract: the merged outcome is byte-identical at any
+// worker count, including the workers=1 sequential path, because
+//
+//   - each shard's wheel executes its own events in (at, seq) order
+//     regardless of which worker steps it or when,
+//   - handlers on different shards share no state between barriers, so
+//     the wall-clock interleaving of two shards cannot influence either,
+//   - barrier events run with all shards parked at the barrier instant,
+//     drained in (at, seq) order by one goroutine.
+//
+// This is the same contract internal/sweep proves for independent
+// experiment fan-out, pushed down into the kernel so that one simulation
+// (a replicated cluster, a multi-JVM study) can be stepped by multiple
+// cores between its synchronization points.
+package event
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"jvmgc/internal/simtime"
+)
+
+// Shards steps N event wheels in parallel epochs separated by
+// deterministic safepoint barriers. Construct with NewShards.
+type Shards struct {
+	shards   []*Sim
+	labels   []pprof.LabelSet
+	finished []bool
+	workers  int
+	barrier  *Sim
+	now      simtime.Time // high-water mark of completed epochs
+}
+
+// ResolveWorkers maps a configured worker count to an effective one:
+// values <= 0 auto-detect from the host (the smaller of GOMAXPROCS and
+// the physical core count — a worker per schedulable core, never more)
+// capped by the shard count; 1 forces the exact sequential path; larger
+// values are capped by the shard count.
+func ResolveWorkers(workers, shards int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if n := runtime.NumCPU(); n < workers {
+			workers = n
+		}
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// NewShards returns an ensemble of n independent wheels stepped by the
+// given number of workers (0 auto-detects, 1 is the sequential path; see
+// ResolveWorkers).
+func NewShards(n, workers int) *Shards {
+	if n < 1 {
+		panic(fmt.Sprintf("event: ensemble needs >= 1 shard, got %d", n))
+	}
+	g := &Shards{
+		shards:   make([]*Sim, n),
+		labels:   make([]pprof.LabelSet, n),
+		finished: make([]bool, n),
+		workers:  ResolveWorkers(workers, n),
+		barrier:  New(),
+	}
+	for i := range g.shards {
+		g.shards[i] = New()
+		g.labels[i] = pprof.Labels("shard", strconv.Itoa(i))
+	}
+	return g
+}
+
+// Len returns the shard count.
+func (g *Shards) Len() int { return len(g.shards) }
+
+// Workers returns the resolved worker count.
+func (g *Shards) Workers() int { return g.workers }
+
+// Shard returns shard i's wheel. Components mounted on it may only touch
+// shard-local state from their handlers; cross-shard work belongs in
+// barrier events.
+func (g *Shards) Shard(i int) *Sim { return g.shards[i] }
+
+// SetShardLabel attaches a pprof label to shard i's stepping goroutine
+// (label key "jvm", alongside the always-present "shard" index), so a
+// -cpuprofile of a parallel run attributes simulation time per shard.
+func (g *Shards) SetShardLabel(i int, jvm string) {
+	g.labels[i] = pprof.Labels("shard", strconv.Itoa(i), "jvm", jvm)
+}
+
+// Now returns the ensemble clock: the furthest instant every live shard
+// has been advanced to (zero before the first Run).
+func (g *Shards) Now() simtime.Time { return g.now }
+
+// ScheduleBarrier registers h as a global safepoint at instant at. When
+// it fires, every live shard has been advanced to exactly at (all shard
+// events at or before it executed, clocks parked on it) and no worker is
+// running: the handler may read or mutate any shard, schedule shard
+// events, or schedule further barriers. Barrier events at the same
+// instant fire in scheduling order.
+func (g *Shards) ScheduleBarrier(at simtime.Time, h Handler) *Event {
+	if at < g.now {
+		panic(fmt.Sprintf("event: barrier at %v before ensemble clock %v", at, g.now))
+	}
+	return g.barrier.Schedule(at, h)
+}
+
+// ScheduleBarrierFunc is ScheduleBarrier for a plain function.
+func (g *Shards) ScheduleBarrierFunc(at simtime.Time, f func()) *Event {
+	if at < g.now {
+		panic(fmt.Sprintf("event: barrier at %v before ensemble clock %v", at, g.now))
+	}
+	return g.barrier.ScheduleFunc(at, f)
+}
+
+// Run advances the ensemble to the deadline: epochs of independent
+// parallel shard stepping separated by barrier drains. A shard whose
+// driver calls Halt on its wheel is retired for the remainder of this
+// Run (its clock stays where the halting event left it); Run returns
+// when the deadline is reached, or — under an unbounded deadline — when
+// every shard has halted or drained and no barrier events remain.
+func (g *Shards) Run(deadline simtime.Time) {
+	for {
+		epochEnd := deadline
+		barrierDue := false
+		if at, ok := g.barrier.NextAt(); ok && at <= deadline {
+			epochEnd = at
+			barrierDue = true
+		}
+		g.advanceShards(epochEnd)
+		if epochEnd != simtime.MaxTime && epochEnd > g.now {
+			g.now = epochEnd
+		}
+		if !barrierDue {
+			return
+		}
+		// Safepoint: every live shard is parked at epochEnd; drain the
+		// barrier events at this instant in (at, seq) order,
+		// single-threaded. Handlers may schedule more barriers, including
+		// at this same instant.
+		g.barrier.Run(epochEnd)
+	}
+}
+
+// RunAll is Run with no deadline: the ensemble steps until every shard
+// has halted or drained its queue and no barrier events remain.
+func (g *Shards) RunAll() { g.Run(simtime.MaxTime) }
+
+// advanceShards steps every live shard to the epoch end, fanning the
+// shards across the worker pool. Shards are independent between
+// barriers, so the assignment of shards to workers is free to be
+// first-come-first-served without affecting any result.
+func (g *Shards) advanceShards(epochEnd simtime.Time) {
+	if g.workers == 1 {
+		for i := range g.shards {
+			g.stepShard(i, epochEnd)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(g.workers)
+	for w := 0; w < g.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(g.shards) {
+					return
+				}
+				pprof.Do(context.Background(), g.labels[i], func(context.Context) {
+					g.stepShard(i, epochEnd)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// stepShard advances one shard to the epoch end, retiring it if its
+// driver halted the wheel.
+func (g *Shards) stepShard(i int, epochEnd simtime.Time) {
+	if g.finished[i] {
+		return
+	}
+	g.shards[i].Run(epochEnd)
+	if g.shards[i].Halted() {
+		g.finished[i] = true
+	}
+}

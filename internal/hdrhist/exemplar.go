@@ -36,8 +36,8 @@ type Exemplars struct {
 func NewExemplars(h *Hist) *Exemplars {
 	return &Exemplars{
 		h:     h,
-		slots: make([]Exemplar, len(h.counts)),
-		set:   make([]bool, len(h.counts)),
+		slots: make([]Exemplar, h.numBuckets),
+		set:   make([]bool, h.numBuckets),
 	}
 }
 

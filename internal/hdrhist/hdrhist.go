@@ -77,15 +77,30 @@ func (c Config) validate() error {
 	return nil
 }
 
+// Bucket counts live in fixed-size segments allocated on first touch.
+// The default config spans ~9000 buckets (72 KiB dense), but any one
+// process observes values in a narrow slice of that range — a JVM's
+// pauses cover a dozen binades — so a dense array wastes most of its
+// footprint. Segments keep Record O(1) and allocation-free once a
+// value's segment exists, while an idle histogram costs only the
+// segment-pointer table.
+const (
+	segBits = 8 // 256 buckets per segment: 2 KiB
+	segSize = 1 << segBits
+	segMask = segSize - 1
+)
+
 // Hist is a streaming histogram. The zero value is not usable; call New.
 type Hist struct {
-	cfg    Config
-	shift  uint
-	minKey uint64 // bucket key of cfg.Min
+	cfg        Config
+	shift      uint
+	minKey     uint64 // bucket key of cfg.Min
+	numBuckets int
 
-	// counts[0] is the sub-resolution bucket, counts[len-1] the
-	// saturation bucket; counts[1:len-1] cover [Min, Max).
-	counts []uint64
+	// Bucket i lives at segs[i>>segBits][i&segMask]; a nil segment is
+	// all-zero. Bucket 0 is the sub-resolution bucket, bucket
+	// numBuckets-1 the saturation bucket; the rest cover [Min, Max).
+	segs [][]uint64
 
 	count    uint64
 	sum      float64
@@ -104,19 +119,40 @@ func New(cfg Config) *Hist {
 	shift := 52 - cfg.SubBucketBits
 	minKey := math.Float64bits(cfg.Min) >> shift
 	maxKey := math.Float64bits(cfg.Max) >> shift
+	n := int(maxKey-minKey) + 2
 	return &Hist{
-		cfg:    cfg,
-		shift:  shift,
-		minKey: minKey,
-		counts: make([]uint64, maxKey-minKey+2),
+		cfg:        cfg,
+		shift:      shift,
+		minKey:     minKey,
+		numBuckets: n,
+		segs:       make([][]uint64, (n+segSize-1)/segSize),
 	}
 }
 
 // Config returns the histogram's resolved configuration.
 func (h *Hist) Config() Config { return h.cfg }
 
-// NumBuckets returns the number of buckets (the memory bound).
-func (h *Hist) NumBuckets() int { return len(h.counts) }
+// NumBuckets returns the number of buckets (the memory bound; actual
+// footprint is proportional to the touched segments).
+func (h *Hist) NumBuckets() int { return h.numBuckets }
+
+// incr adds n to bucket i, allocating its segment on first touch.
+func (h *Hist) incr(i int, n uint64) {
+	s := h.segs[i>>segBits]
+	if s == nil {
+		s = make([]uint64, segSize)
+		h.segs[i>>segBits] = s
+	}
+	s[i&segMask] += n
+}
+
+// at returns bucket i's count.
+func (h *Hist) at(i int) uint64 {
+	if s := h.segs[i>>segBits]; s != nil {
+		return s[i&segMask]
+	}
+	return 0
+}
 
 // bucketIndex maps a value to its bucket. The caller has already
 // rejected NaN.
@@ -125,7 +161,7 @@ func (h *Hist) bucketIndex(v float64) int {
 		return 0
 	}
 	if v >= h.cfg.Max {
-		return len(h.counts) - 1
+		return h.numBuckets - 1
 	}
 	key := math.Float64bits(v) >> h.shift
 	return int(key-h.minKey) + 1
@@ -136,7 +172,7 @@ func (h *Hist) bucketLow(i int) float64 {
 	switch {
 	case i == 0:
 		return 0
-	case i == len(h.counts)-1:
+	case i == h.numBuckets-1:
 		return h.cfg.Max
 	default:
 		return math.Float64frombits((h.minKey + uint64(i-1)) << h.shift)
@@ -148,7 +184,7 @@ func (h *Hist) bucketHigh(i int) float64 {
 	switch {
 	case i == 0:
 		return h.cfg.Min
-	case i == len(h.counts)-1:
+	case i == h.numBuckets-1:
 		return math.Inf(1)
 	default:
 		return math.Float64frombits((h.minKey + uint64(i)) << h.shift)
@@ -164,7 +200,7 @@ func (h *Hist) representative(i int) float64 {
 	switch {
 	case i == 0:
 		v = h.cfg.Min / 2
-	case i == len(h.counts)-1:
+	case i == h.numBuckets-1:
 		v = h.cfg.Max
 	default:
 		v = (h.bucketLow(i) + h.bucketHigh(i)) / 2
@@ -199,7 +235,7 @@ func (h *Hist) RecordN(v float64, n uint64) {
 	}
 	h.count += n
 	h.sum += v * float64(n)
-	h.counts[h.bucketIndex(v)] += n
+	h.incr(h.bucketIndex(v), n)
 }
 
 // Count returns the number of recorded values.
@@ -263,10 +299,19 @@ func (h *Hist) Quantile(q float64) float64 {
 // statistic at the given rank.
 func (h *Hist) valueAtRank(rank uint64) float64 {
 	var cum uint64
-	for i, c := range h.counts {
-		cum += c
-		if cum > rank {
-			return h.representative(i)
+	for si, s := range h.segs {
+		if s == nil {
+			continue
+		}
+		base := si << segBits
+		for j, c := range s {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			if cum > rank {
+				return h.representative(base + j)
+			}
 		}
 	}
 	return h.max
@@ -282,8 +327,17 @@ func (h *Hist) CountAbove(x float64) uint64 {
 	}
 	idx := h.bucketIndex(x)
 	var n uint64
-	for i := idx + 1; i < len(h.counts); i++ {
-		n += h.counts[i]
+	for si := idx >> segBits; si < len(h.segs); si++ {
+		s := h.segs[si]
+		if s == nil {
+			continue
+		}
+		base := si << segBits
+		for j, c := range s {
+			if base+j > idx {
+				n += c
+			}
+		}
 	}
 	return n
 }
@@ -311,8 +365,21 @@ func (h *Hist) Merge(o *Hist) error {
 	}
 	h.count += o.count
 	h.sum += o.sum
-	for i, c := range o.counts {
-		h.counts[i] += c
+	for si, os := range o.segs {
+		if os == nil {
+			continue
+		}
+		hs := h.segs[si]
+		for j, c := range os {
+			if c == 0 {
+				continue
+			}
+			if hs == nil {
+				hs = make([]uint64, segSize)
+				h.segs[si] = hs
+			}
+			hs[j] += c
+		}
 	}
 	return nil
 }
@@ -322,8 +389,10 @@ func (h *Hist) Reset() {
 	h.count = 0
 	h.sum = 0
 	h.min, h.max = 0, 0
-	for i := range h.counts {
-		h.counts[i] = 0
+	for _, s := range h.segs {
+		for i := range s {
+			s[i] = 0
+		}
 	}
 }
 
@@ -343,10 +412,17 @@ type Bucket struct {
 // ForEachBucket calls fn for every non-empty bucket in ascending value
 // order. It is the export surface for the Prometheus histogram writer.
 func (h *Hist) ForEachBucket(fn func(Bucket)) {
-	for i, c := range h.counts {
-		if c == 0 {
+	for si, s := range h.segs {
+		if s == nil {
 			continue
 		}
-		fn(Bucket{Index: i, Low: h.bucketLow(i), High: h.bucketHigh(i), Count: c})
+		base := si << segBits
+		for j, c := range s {
+			if c == 0 {
+				continue
+			}
+			i := base + j
+			fn(Bucket{Index: i, Low: h.bucketLow(i), High: h.bucketHigh(i), Count: c})
+		}
 	}
 }

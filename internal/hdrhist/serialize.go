@@ -32,11 +32,7 @@ const (
 // MarshalBinary encodes the histogram in the stable wire layout.
 func (h *Hist) MarshalBinary() ([]byte, error) {
 	pairs := 0
-	for _, c := range h.counts {
-		if c != 0 {
-			pairs++
-		}
-	}
+	h.ForEachBucket(func(Bucket) { pairs++ })
 	buf := make([]byte, headerSize+pairs*pairSize)
 	copy(buf, magic)
 	le := binary.LittleEndian
@@ -49,14 +45,11 @@ func (h *Hist) MarshalBinary() ([]byte, error) {
 	le.PutUint64(buf[48:], math.Float64bits(h.max))
 	le.PutUint32(buf[56:], uint32(pairs))
 	off := headerSize
-	for i, c := range h.counts {
-		if c == 0 {
-			continue
-		}
-		le.PutUint32(buf[off:], uint32(i))
-		le.PutUint64(buf[off+4:], c)
+	h.ForEachBucket(func(b Bucket) {
+		le.PutUint32(buf[off:], uint32(b.Index))
+		le.PutUint64(buf[off+4:], b.Count)
 		off += pairSize
-	}
+	})
 	return buf, nil
 }
 
@@ -101,10 +94,10 @@ func (h *Hist) UnmarshalBinary(data []byte) error {
 		off := headerSize + p*pairSize
 		idx := int(le.Uint32(data[off:]))
 		c := le.Uint64(data[off+4:])
-		if idx <= prev || idx >= len(nh.counts) || c == 0 {
+		if idx <= prev || idx >= nh.numBuckets || c == 0 {
 			return fmt.Errorf("hdrhist: corrupt pair %d (index %d, count %d)", p, idx, c)
 		}
-		nh.counts[idx] = c
+		nh.incr(idx, c)
 		total += c
 		prev = idx
 	}

@@ -77,6 +77,15 @@ type Config struct {
 	Safepoint     safepoint.Model
 	// GCThreads overrides the parallel GC gang size (0 = ergonomic).
 	GCThreads int
+	// Clock mounts the JVM on an externally owned event wheel instead of
+	// a private one — the hook the sharded kernel uses to step several
+	// JVMs (each on its own event.Shards shard) in parallel epochs. The
+	// wheel must be dedicated to this JVM and its driver: the JVM's
+	// handlers are not goroutine-safe, and drivers sharing the wheel must
+	// schedule their logic in the post band (event.SchedulePost) so the
+	// JVM's same-instant events fire first, exactly as they do under the
+	// sequential RunFor loop. Nil keeps a private wheel.
+	Clock *event.Sim
 	// Seed drives all randomness in this JVM.
 	Seed uint64
 	// Recorder, when non-nil, receives flight-recorder telemetry (GC
@@ -285,12 +294,16 @@ func New(cfg Config, w Workload) *JVM {
 		cfg.TLAB.WasteFraction = w.TLABWaste
 	}
 
+	clock := cfg.Clock
+	if clock == nil {
+		clock = event.New()
+	}
 	j := &JVM{
 		cfg:       cfg,
 		w:         w,
 		mach:      cfg.Machine,
 		col:       cfg.Collector,
-		clock:     event.New(),
+		clock:     clock,
 		tracker:   demography.NewTracker(w.Profile),
 		log:       gclog.New(),
 		rng:       xrand.New(cfg.Seed),

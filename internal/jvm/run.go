@@ -15,6 +15,14 @@ func (j *JVM) RunFor(d simtime.Duration) {
 	j.advance(deadline)
 }
 
+// Sync materializes mutator progress and allocation up to the clock's
+// current instant. A JVM stepped through an external wheel (Config.Clock)
+// needs this after the wheel has been advanced from outside — by an
+// ensemble run or a co-mounted driver's post-band handler — before
+// reading Progress, exactly where the RunFor loop would have advanced
+// internally. Calling it with the clock unmoved is a no-op.
+func (j *JVM) Sync() { j.advance(j.clock.Now()) }
+
 // RunUntilProgress advances the simulation until the mutators have
 // accumulated `work` additional ideal-seconds of progress (a DaCapo
 // iteration's worth of computation), and returns the wall-clock simulated
