@@ -41,6 +41,18 @@ go test -race -count=1 -run 'TestFleetChaosNodeKillByteIdentity|TestFleetPeerCac
 # declared dead.
 go test -race -count=1 -run 'TestFleetChurnByteIdentity' ./internal/fleet/
 go test -race -count=1 -run 'TestStallRefutedNotDeclaredDead|TestDeathAndRecovery|TestJoinAnnounceLeaveLifecycle' ./internal/fleet/gossip/
+# Load-generator smoke. First the virtual-time determinism anchor: the
+# same seed must print byte-identical saturation curves (the generator's
+# schedules, queueing arithmetic and histogram are all pure functions of
+# the seed). Then a short fixed-seed sweep against a real in-process
+# 3-node fleet over loopback HTTP: zero failed requests and knee
+# detection must terminate (-ci asserts both; the knee value itself is
+# machine-dependent and not asserted).
+go build -o /tmp/gcload ./cmd/gcload
+/tmp/gcload -virtual -seed 42 -slo-p99 5ms -ci > /tmp/gcload_virtual_1.txt
+/tmp/gcload -virtual -seed 42 -slo-p99 5ms -ci > /tmp/gcload_virtual_2.txt
+cmp /tmp/gcload_virtual_1.txt /tmp/gcload_virtual_2.txt
+/tmp/gcload -inproc 3 -rate-start 200 -rate-step 200 -rate-max 600 -duration 1s -slo-p99 250ms -seed 7 -ci
 go test -run=NONE -bench='BenchmarkTelemetryDisabled|BenchmarkCacheHit|BenchmarkColdRun|BenchmarkNoopFaultPoint|BenchmarkNoopTracePoint' -benchtime=1x ./...
 # Parallel-kernel determinism matrix under the race detector: the
 # sharded ensemble must be byte-identical at any worker count (kernel
@@ -60,11 +72,11 @@ go build -o /tmp/benchdiff ./cmd/benchdiff
   go test -run=NONE -bench 'BenchmarkFigure3Ranking' -benchmem -benchtime=5x -count=2 .
   go test -run=NONE -bench 'BenchmarkSimulatedHour' -benchmem -benchtime=10x -count=2 ./internal/jvm/
   go test -run=NONE -bench 'BenchmarkClusterStep' -benchmem -benchtime=3x -count=2 ./internal/cluster/
-  go test -run=NONE -bench 'BenchmarkColdRun|BenchmarkCacheHit' -benchmem -count=2 ./internal/labd/
+  go test -run=NONE -bench 'BenchmarkColdRun|BenchmarkCacheHit|BenchmarkSubmitCacheHit' -benchmem -count=2 ./internal/labd/
   go test -run=NONE -bench 'BenchmarkScheduleFire|BenchmarkScheduleCancel' -benchmem -count=2 ./internal/event/
   go test -run=NONE -bench 'BenchmarkHDRRecord|BenchmarkHDRQuantile' -benchmem -count=2 ./internal/hdrhist/
   go test -run=NONE -bench 'BenchmarkSweepImbalance|BenchmarkFIFOImbalance' -benchmem -count=2 ./internal/sweep/
-  go test -run=NONE -bench 'BenchmarkRingLookup|BenchmarkRouterPick|BenchmarkHandoffPlan' -benchmem -count=2 ./internal/fleet/
+  go test -run=NONE -bench 'BenchmarkRingLookup|BenchmarkRouterPick|BenchmarkRouterForward|BenchmarkHandoffPlan' -benchmem -count=2 ./internal/fleet/
   go test -run=NONE -bench 'BenchmarkGossipTick' -benchmem -count=2 ./internal/fleet/gossip/
 } > /tmp/bench_current.txt
 /tmp/benchdiff -in /tmp/bench_current.txt -out /tmp/BENCH_current.json -baseline BENCH_baseline.json

@@ -117,7 +117,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if owner == rt.cfg.Self && rt.local != nil {
 				go func(indices []int, jobs []labd.JobSpec) {
 					defer wg.Done()
-					rt.localShard(r, indices, jobs, req.TimeoutSeconds, msgs)
+					rt.localShard(r, indices, jobs, keys, req.TimeoutSeconds, msgs)
 				}(indices, jobs)
 			} else {
 				go func(owner string, indices []int, jobs []labd.JobSpec) {
@@ -186,16 +186,17 @@ func disposition(info labd.JobInfo) string {
 // localShard runs one shard on the co-resident daemon directly — no
 // socket, no serialization round-trip. Submitting everything before
 // waiting preserves intra-shard coalescing, then each job's completion
-// becomes an event as it happens.
-func (rt *Router) localShard(r *http.Request, indices []int, jobs []labd.JobSpec, timeout float64, msgs chan<- labd.BatchEvent) {
+// becomes an event as it happens. The content keys were already derived
+// once for routing, so submissions reuse them instead of re-hashing.
+func (rt *Router) localShard(r *http.Request, indices []int, jobs []labd.JobSpec, keys []string, timeout float64, msgs chan<- labd.BatchEvent) {
 	rt.localJobs.Add(int64(len(indices)))
 	var wg sync.WaitGroup
 	for k, spec := range jobs {
 		idx := indices[k]
-		j, err := rt.local.SubmitContext(r.Context(), labd.SubmitRequest{
+		j, err := rt.local.SubmitPreKeyed(r.Context(), labd.SubmitRequest{
 			Job:            spec,
 			TimeoutSeconds: timeout,
-		})
+		}, keys[idx])
 		if err != nil {
 			msgs <- labd.BatchEvent{Index: idx, Status: labd.StatusFailed, Error: err.Error()}
 			continue

@@ -90,7 +90,13 @@ func (r *Ring) Len() int { return len(r.nodes) }
 // start returns the index of the first ring point at or after the
 // key's hash (wrapping past the end).
 func (r *Ring) start(key string) int {
-	h := finalize(hashString(key))
+	return r.startHash(finalize(hashString(key)))
+}
+
+// startHash is start for callers that already finalized the key's hash
+// — the router's forward path hashes each key once and reuses it across
+// placement attempts.
+func (r *Ring) startHash(h uint64) int {
 	points := r.points
 	// Manual binary search: sort.Search's func parameter would allocate
 	// a closure on the lookup hot path, which is benchmarked 0-alloc.
@@ -163,6 +169,19 @@ func hashString(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashBytes is hashString over a byte slice — same FNV-1a sequence, so
+// hashBytes(k) == hashString(string(k)) without the conversion
+// allocation. The router's submit path derives keys into stack buffers
+// and hashes them here.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
 		h *= 1099511628211
 	}
 	return h

@@ -3,6 +3,8 @@ package fleet
 import (
 	"fmt"
 	"testing"
+
+	"jvmgc/internal/labd"
 )
 
 func testKeys(n int) []string {
@@ -258,5 +260,73 @@ func BenchmarkRouterPick(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sinkNode = rt.pick(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkRouterForward measures the per-request routing core of the
+// submit path — content-address the spec (fast JSON encode + SHA-256
+// into a stack buffer) and place it on the ring. Bench-gated at 0
+// allocs/op: this runs once per submission, and under saturation load
+// any allocation here multiplies into GC pressure fleet-wide.
+func BenchmarkRouterForward(b *testing.B) {
+	rt, err := New(Config{Nodes: map[string]string{
+		"a": "http://a", "b": "http://b", "c": "http://c",
+		"d": "http://d", "e": "http://e",
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]labd.JobSpec, 64)
+	for i := range specs {
+		specs[i] = labd.JobSpec{
+			Kind:             labd.KindSimulate,
+			Collector:        "ParallelOld",
+			HeapBytes:        2 << 30,
+			Threads:          8,
+			AllocBytesPerSec: 150e6,
+			DurationSeconds:  5,
+			Seed:             uint64(i) + 1,
+		}
+	}
+	var keyBuf [64]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node, err := rt.routeSpec(specs[i%len(specs)], &keyBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkNode = node
+	}
+}
+
+func TestRouteSpecZeroAlloc(t *testing.T) {
+	rt, err := New(Config{Nodes: map[string]string{
+		"a": "http://a", "b": "http://b", "c": "http://c",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := labd.JobSpec{Kind: labd.KindSimulate, Collector: "CMS",
+		HeapBytes: 4 << 30, DurationSeconds: 10, Seed: 42}
+	var keyBuf [64]byte
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := rt.routeSpec(spec, &keyBuf); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("routeSpec allocates %.1f/op, want 0", avg)
+	}
+	// The derived key must match the canonical one, and placement must
+	// agree with a string-keyed pick.
+	want, err := labd.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(keyBuf[:]) != want {
+		t.Errorf("routeSpec key %q != SpecKey %q", keyBuf[:], want)
+	}
+	if got, _ := rt.routeSpec(spec, &keyBuf); got != rt.pick(want) {
+		t.Errorf("routeSpec placement %q != pick %q", got, rt.pick(want))
 	}
 }

@@ -45,8 +45,11 @@ const (
 // receiving it serves the job locally, whatever the ring says — the
 // sender is authoritative for placement — which is what makes failover
 // re-routes terminate instead of looping between two routers with
-// different views of membership.
-const routedHeader = "X-Labd-Routed"
+// different views of membership. It also marks the spec-key header
+// (labd.HeaderSpecKey) trustworthy: the router computed the key for
+// placement and carries it along, so the owning daemon never re-derives
+// it.
+const routedHeader = labd.HeaderRouted
 
 // Config parameterizes a Router.
 type Config struct {
@@ -68,8 +71,9 @@ type Config struct {
 	// setting: near-minimal remapping with a hard cap on hot-shard
 	// pileup.
 	LoadFactor float64
-	// HTTPClient is the forwarding transport (default: a client with a
-	// 2-minute timeout, matched to the daemon's default job timeout).
+	// HTTPClient is the forwarding transport (default: a pooled
+	// keep-alive client with a 2-minute timeout, matched to the daemon's
+	// default job timeout).
 	HTTPClient *http.Client
 	// Chaos arms the router's fault sites; nil is a no-op.
 	Chaos *faultinject.Injector
@@ -87,12 +91,33 @@ type Config struct {
 	AfterLeave func()
 }
 
+// defaultForwardClient is the process-wide forwarding client shared by
+// routers whose Config leaves HTTPClient nil.
+var defaultForwardClient = &http.Client{
+	Timeout: 2 * time.Minute,
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 128,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 func (c Config) withDefaults() Config {
 	if c.LoadFactor == 0 {
 		c.LoadFactor = 1.25
 	}
 	if c.HTTPClient == nil {
-		c.HTTPClient = &http.Client{Timeout: 2 * time.Minute}
+		// All routers in a process share one connection pool: forwards
+		// are peer-to-peer and bursty, so idle keep-alive connections to
+		// each peer matter more than per-router isolation. Default pool
+		// limits (2 idle conns per host) would close most connections on
+		// release under concurrent forwarding.
+		c.HTTPClient = defaultForwardClient
 	}
 	if c.ReprobeBase <= 0 {
 		c.ReprobeBase = 500 * time.Millisecond
@@ -387,11 +412,18 @@ func (rt *Router) release(node string, n int) {
 // closure argument would allocate per placement. Placement reads one
 // view snapshot, so a concurrent membership swap cannot tear it.
 func (rt *Router) pick(key string) string {
+	return rt.pickHash(finalize(hashString(key)))
+}
+
+// pickHash is pick for callers that already finalized the key's hash:
+// the submit path hashes its stack-buffer key once and re-picks on the
+// same hash across failover attempts.
+func (rt *Router) pickHash(h uint64) string {
 	r := rt.view.Load().ring
 	if len(r.points) == 0 {
 		return ""
 	}
-	start := r.start(key)
+	start := r.startHash(h)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 
@@ -839,15 +871,73 @@ func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request, body []byte
 	rt.localH.ServeHTTP(w, r)
 }
 
+// submitBodyPool recycles submit-request body buffers, mirroring the
+// daemon's own pooled reader: under saturation load the router reads
+// thousands of bodies per second and each io.ReadAll used to pay a
+// doubling growth sequence.
+var submitBodyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// readSubmitBody reads a bounded request body into a pooled buffer;
+// callers release with releaseSubmitBody once nothing references it.
+func readSubmitBody(w http.ResponseWriter, r *http.Request, limit int64) (*[]byte, error) {
+	bp := submitBodyPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	src := http.MaxBytesReader(w, r.Body, limit)
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := src.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*bp = b[:0]
+			submitBodyPool.Put(bp)
+			return nil, err
+		}
+	}
+	*bp = b
+	return bp, nil
+}
+
+func releaseSubmitBody(bp *[]byte) {
+	*bp = (*bp)[:0]
+	submitBodyPool.Put(bp)
+}
+
+// routeSpec derives a spec's content address into keyBuf and places it
+// on the current ring, allocation-free — the per-request core of the
+// submit path, bench-gated by BenchmarkRouterForward. The key stays a
+// stack buffer until a header actually needs a string.
+func (rt *Router) routeSpec(spec labd.JobSpec, keyBuf *[64]byte) (string, error) {
+	if err := labd.SpecKeyInto(spec, keyBuf); err != nil {
+		return "", err
+	}
+	return rt.pickHash(finalize(hashBytes(keyBuf[:]))), nil
+}
+
 // handleSubmit routes one job to its owner: local fast path when the
 // owner is this node, forward with failover otherwise. A request
 // already routed by a peer is always served locally (see routedHeader).
+//
+// The spec key is computed exactly once per request — here, into a
+// stack buffer — and carried to the owner on labd.HeaderSpecKey: the
+// local daemon's zero-allocation fast path answers cache hits from it
+// without re-deriving the key, and a forwarded request's owner does the
+// same on its side of the wire.
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	bp, err := readSubmitBody(w, r, 1<<20)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	defer releaseSubmitBody(bp)
+	body := *bp
 	if r.Header.Get(routedHeader) != "" && rt.localH != nil {
 		rt.serveLocal(w, r, body)
 		return
@@ -863,8 +953,8 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			req.Job = spec
 		}
 	}
-	key, err := labd.SpecKey(req.Job)
-	if err != nil {
+	var keyBuf [64]byte
+	if err := labd.SpecKeyInto(req.Job, &keyBuf); err != nil {
 		// Invalid spec: the local daemon produces the canonical 400; a
 		// standalone router answers directly.
 		if rt.localH != nil {
@@ -874,9 +964,10 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	keyHash := finalize(hashBytes(keyBuf[:]))
 
 	for attempt := 0; attempt < rt.Ring().Len(); attempt++ {
-		owner := rt.pick(key)
+		owner := rt.pickHash(keyHash)
 		if owner == "" {
 			break
 		}
@@ -884,10 +975,14 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			rt.reroutes.Add(1)
 		}
 		if owner == rt.cfg.Self {
+			// Placement decided: mark the request routed and attach the
+			// key so the daemon's fast path trusts and reuses it.
+			r.Header.Set(routedHeader, "1")
+			r.Header.Set(labd.HeaderSpecKey, string(keyBuf[:]))
 			rt.serveLocal(w, r, body)
 			return
 		}
-		if rt.forward(w, r, owner, body) {
+		if rt.forward(w, r, owner, body, keyBuf[:]) {
 			return
 		}
 		// forward marked the owner down; the next pick slides to the
@@ -897,10 +992,12 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusServiceUnavailable, errors.New("fleet: no nodes available"))
 }
 
-// forward proxies one submission to a peer node. False reports a
-// transport-level failure (node marked down, job should re-route);
-// true means a response — any response — was relayed to the client.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node string, body []byte) bool {
+// forward proxies one submission to a peer node, carrying the already-
+// computed spec key so the owner's daemon skips re-deriving it. False
+// reports a transport-level failure (node marked down, job should
+// re-route); true means a response — any response — was relayed to the
+// client.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node string, body, key []byte) bool {
 	rt.acquire(node, 1)
 	defer rt.release(node, 1)
 	if err := rt.injectTransport(node); err != nil {
@@ -920,6 +1017,9 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node string, b
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(routedHeader, "1")
+	if len(key) > 0 {
+		req.Header.Set(labd.HeaderSpecKey, string(key))
+	}
 	if tp := r.Header.Get("traceparent"); tp != "" {
 		req.Header.Set("traceparent", tp)
 	}

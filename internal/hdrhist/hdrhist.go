@@ -23,6 +23,7 @@ package hdrhist
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Config fixes a histogram's value range and resolution. Histograms
@@ -236,6 +237,22 @@ func (h *Hist) RecordN(v float64, n uint64) {
 	h.count += n
 	h.sum += v * float64(n)
 	h.incr(h.bucketIndex(v), n)
+}
+
+// RecordIntended folds one coordinated-omission-corrected latency
+// sample, in seconds: the elapsed time from when the request was
+// *scheduled* to start (its slot in an open-loop arrival plan) to when
+// it completed. Measuring from the intended start — not the actual send
+// — charges queueing delay caused by a stalled service to the service,
+// which is the wrk2 correction for coordinated omission. A completion
+// that (through clock skew) lands before its intended start clamps to
+// zero rather than recording a negative latency.
+func (h *Hist) RecordIntended(intended, completed time.Time) {
+	d := completed.Sub(intended).Seconds()
+	if d < 0 {
+		d = 0
+	}
+	h.Record(d)
 }
 
 // Count returns the number of recorded values.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"testing"
+	"time"
 
 	"jvmgc/internal/xrand"
 )
@@ -382,5 +383,26 @@ func TestReset(t *testing.T) {
 	h.Record(2)
 	if h.Count() != 1 || h.Min() != 2 || h.Max() != 2 {
 		t.Error("histogram unusable after Reset")
+	}
+}
+
+// TestRecordIntended verifies the coordinated-omission form: latency is
+// measured from the intended start, and skewed (negative) intervals
+// clamp to zero instead of recording garbage.
+func TestRecordIntended(t *testing.T) {
+	h := New(Config{})
+	base := time.Unix(1700000000, 0)
+	h.RecordIntended(base, base.Add(250*time.Millisecond))
+	if h.Count() != 1 || h.Sum() != 0.25 {
+		t.Errorf("count=%d sum=%g, want 1 / 0.25", h.Count(), h.Sum())
+	}
+	// A request whose completion predates its intended slot (clock skew)
+	// records zero, not a negative value.
+	h.RecordIntended(base.Add(time.Second), base)
+	if h.Count() != 2 || h.Sum() != 0.25 {
+		t.Errorf("after skewed sample: count=%d sum=%g, want 2 / 0.25", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 {
+		t.Errorf("min=%g, want 0 (clamped)", h.Min())
 	}
 }

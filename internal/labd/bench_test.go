@@ -49,6 +49,37 @@ func BenchmarkColdRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitCacheHit measures the zero-allocation fast path
+// (fastpath.go): the cache is primed once and every iteration resolves
+// the same spec through TryCacheHit — normalize, encode, hash, lookup,
+// account — with no job machinery. Bench-gated at 0 allocs/op; the ≥2x
+// acceptance comparison is against BenchmarkCacheHit's pre-PR baseline,
+// which measures the full scheduler answering the same hit.
+func BenchmarkSubmitCacheHit(b *testing.B) {
+	s := benchServer(b)
+	j, err := s.Submit(SubmitRequest{Job: benchSpec(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-j.Done()
+	if _, err := j.Result(); err != nil {
+		b.Fatal(err)
+	}
+	// Prime lazily-allocated observers (histogram segments, SLO buckets,
+	// counter-handle slots) so the steady state is measured.
+	if _, _, ok := s.TryCacheHit(benchSpec(1)); !ok {
+		b.Fatal("expected warm fast-path hit")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bytes, _, ok := s.TryCacheHit(benchSpec(1))
+		if !ok || len(bytes) == 0 {
+			b.Fatalf("fast path miss at iteration %d", i)
+		}
+	}
+}
+
 // BenchmarkCacheHit measures the memoized path: the cache is primed once
 // and every iteration is answered from stored bytes.
 func BenchmarkCacheHit(b *testing.B) {

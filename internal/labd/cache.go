@@ -160,6 +160,20 @@ func (c *resultCache) peek(key string) ([]byte, bool) {
 	return bytes, true
 }
 
+// getBytes is get with a byte-slice key: the compiler's map-lookup
+// special case makes c.byKey[string(key)] allocation-free, which keeps
+// the submit fast path zero-alloc end to end.
+func (c *resultCache) getBytes(key []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[string(key)]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).bytes, true
+}
+
 // get returns the stored bytes for a key without starting a flight.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()

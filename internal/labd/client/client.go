@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -161,11 +162,31 @@ func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
+// sharedTransport is the package-wide default transport: one connection
+// pool shared by every Client that doesn't bring its own HTTPClient.
+// Batch shard goroutines and load-generator workers all multiplex over
+// it, so keep-alive connections are reused across calls instead of each
+// burst paying fresh TCP handshakes (http.DefaultClient would share too,
+// but with pool limits — MaxIdleConnsPerHost 2 — that force most
+// concurrent connections to close on release under fan-out load).
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   30 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        512,
+	MaxIdleConnsPerHost: 128,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+var sharedHTTPClient = &http.Client{Transport: sharedTransport}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
 }
 
 // Stats snapshots the resilience counters.

@@ -8,12 +8,55 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"jvmgc/internal/obs"
 	"jvmgc/internal/telemetry"
 )
+
+// bodyPool recycles request-body buffers across submissions. Under
+// steady load the pooled buffers converge on the fleet's typical spec
+// size and stop growing, so reading a body costs no heap growth —
+// where io.ReadAll paid a doubling growth sequence per request.
+var bodyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// readPooledBody reads a bounded request body into a pooled buffer and
+// returns the pool token; the body is (*token)[:...]. Callers release
+// with releaseBody once nothing references the bytes (json.Unmarshal
+// copies what it keeps, so releasing after decode is safe).
+func readPooledBody(w http.ResponseWriter, r *http.Request, limit int64) (*[]byte, error) {
+	bp := bodyPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	src := http.MaxBytesReader(w, r.Body, limit)
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := src.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*bp = b[:0]
+			bodyPool.Put(bp)
+			return nil, err
+		}
+	}
+	*bp = b
+	return bp, nil
+}
+
+func releaseBody(bp *[]byte) {
+	*bp = (*bp)[:0]
+	bodyPool.Put(bp)
+}
 
 // Handler returns the daemon's HTTP API:
 //
@@ -94,11 +137,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // handleSubmit accepts either the SubmitRequest envelope or a bare
 // JobSpec body.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	bp, err := readPooledBody(w, r, 1<<20)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	defer releaseBody(bp)
+	body := *bp
 	var req SubmitRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -109,6 +154,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.Unmarshal(body, &spec); err == nil && spec.Kind != "" {
 			req.Job = spec
+		}
+	}
+
+	// A routed fleet request carries the spec key its router computed
+	// for placement, so this daemon never re-derives it. The hint is
+	// honored only together with the routed marker (see HeaderSpecKey).
+	hint := ""
+	if r.Header.Get(HeaderRouted) != "" {
+		hint = r.Header.Get(HeaderSpecKey)
+	}
+
+	// Zero-allocation fast path (fastpath.go): a synchronous, untraced
+	// submission whose result sits in the memory tier is answered from
+	// the stored bytes with no job machinery. Anything else — async,
+	// traced, draining, invalid, or simply not cached — falls through to
+	// the scheduler below, which owns all error reporting.
+	if !req.Async {
+		if hint != "" {
+			if bytes, ok := s.TryCacheHitKey(hint); ok {
+				s.writeCachedResult(w, hint, bytes)
+				return
+			}
+		} else if bytes, hexKey, ok := s.TryCacheHit(req.Job); ok {
+			s.writeCachedResult(w, string(hexKey[:]), bytes)
+			return
 		}
 	}
 
@@ -129,7 +199,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// The request context's deadline (if the client set one) caps the
 	// job's timeout — deadline propagation from HTTP edge to simulation.
-	j, err := s.SubmitContext(ctx, req)
+	var j *Job
+	if hint != "" {
+		j, err = s.SubmitPreKeyed(ctx, req, hint)
+	} else {
+		j, err = s.SubmitContext(ctx, req)
+	}
 	if err != nil {
 		tr.Finish(err)
 		var inv errInvalid
@@ -189,7 +264,8 @@ func cacheDisposition(j *Job) string {
 
 // respondResult writes a finished job's outcome: the cached result bytes
 // verbatim on success (so hits, coalesced waits and cold runs are
-// byte-identical), an error envelope otherwise.
+// byte-identical), an error envelope otherwise. Content-Length is set
+// explicitly so large results are not chunk-encoded per response.
 func (s *Server) respondResult(w http.ResponseWriter, j *Job) {
 	bytes, err := j.Result()
 	if err != nil {
@@ -205,6 +281,20 @@ func (s *Server) respondResult(w http.ResponseWriter, j *Job) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(bytes)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(bytes)
+}
+
+// writeCachedResult answers a fast-path cache hit: the stored bytes
+// verbatim with explicit Content-Length and the same key/disposition
+// headers a scheduled hit carries. No X-Labd-Job — the fast path
+// creates no job record (see fastpath.go).
+func (s *Server) writeCachedResult(w http.ResponseWriter, key string, bytes []byte) {
+	w.Header().Set("X-Labd-Key", key)
+	w.Header().Set("X-Labd-Cache", "hit")
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(bytes)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(bytes)
 }
@@ -430,6 +520,7 @@ func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
 	}
 	sum := sha256.Sum256(bytes)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(bytes)))
 	w.Header().Set("X-Labd-Sha256", hex.EncodeToString(sum[:]))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(bytes)

@@ -189,6 +189,14 @@ func defaultFloat(v, d float64) float64 {
 // panicking so a future spec field can never crash the daemon — the
 // submit path propagates it as an HTTP 500.
 func (s JobSpec) key() (string, error) {
+	// Ordinary specs take the hand-rolled encoder (fastpath.go), which is
+	// byte-identical to json.Marshal and allocation-free; specs whose
+	// strings need JSON escaping fall back to encoding/json so the key is
+	// the same either way.
+	var hexBuf [64]byte
+	if fastSpecKey(s, &hexBuf) {
+		return string(hexBuf[:]), nil
+	}
 	b, err := json.Marshal(s)
 	if err != nil {
 		return "", fmt.Errorf("labd: marshal spec: %w", err)

@@ -256,6 +256,19 @@ type Server struct {
 	started time.Time
 	running atomic.Int64
 
+	// drainFast mirrors draining for the lock-free fast path: TryCacheHit
+	// must not serve hits from a daemon that told its fleet it is leaving
+	// (the router re-routes on ErrDraining; a hit here would race the arc
+	// handoff).
+	drainFast atomic.Bool
+
+	// Counter handles for the zero-allocation fast path (fastpath.go):
+	// indexed adds under the recorder mutex, no map lookup per hit.
+	fastSubmitted *telemetry.CounterHandle
+	fastHits      *telemetry.CounterHandle
+	fastHitsMem   *telemetry.CounterHandle
+	fastCompleted *telemetry.CounterHandle
+
 	// latHist streams every finished job's end-to-end latency
 	// (seconds) into a bounded histogram for /metrics, independent of
 	// the span ring's retention; latEx pins one exemplar trace ID per
@@ -304,6 +317,10 @@ func New(cfg Config) (*Server, error) {
 		queueHist: hdrhist.New(hdrhist.Config{}),
 	}
 	s.latEx = hdrhist.NewExemplars(s.latHist)
+	s.fastSubmitted = rec.CounterHandle("labd.jobs.submitted")
+	s.fastHits = rec.CounterHandle("labd.cache.hits")
+	s.fastHitsMem = rec.CounterHandle("labd.cache.hits.memory")
+	s.fastCompleted = rec.CounterHandle("labd.jobs.completed")
 	// Pre-register the resilience counters so /metrics exposes them at
 	// zero before (and whether or not) anything goes wrong.
 	s.rec.Add("labd.jobs.panicked", 0)
@@ -349,6 +366,26 @@ func (s *Server) SubmitContext(ctx context.Context, req SubmitRequest) (*Job, er
 		s.rec.Add("labd.jobs.rejected", 1)
 		return nil, err
 	}
+	return s.submitPrepared(ctx, req, spec, key)
+}
+
+// SubmitPreKeyed is SubmitContext for callers that already hold the
+// spec's content address — a fleet router that computed it for
+// placement, or a batch handler whose fan-out keyed every job up front.
+// The key must be the one SpecKeyInto derives for the same spec; the
+// spec is still validated here.
+func (s *Server) SubmitPreKeyed(ctx context.Context, req SubmitRequest, key string) (*Job, error) {
+	spec, err := req.Job.normalized()
+	if err != nil {
+		s.rec.Add("labd.jobs.rejected", 1)
+		return nil, errInvalid{err}
+	}
+	return s.submitPrepared(ctx, req, spec, key)
+}
+
+// submitPrepared registers and resolves one normalized, keyed job — the
+// shared tail of SubmitContext and SubmitPreKeyed.
+func (s *Server) submitPrepared(ctx context.Context, req SubmitRequest, spec JobSpec, key string) (*Job, error) {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutSeconds > 0 {
 		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
@@ -782,6 +819,7 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	s.drainFast.Store(true)
 	s.pool.Close()
 	s.mu.Unlock()
 

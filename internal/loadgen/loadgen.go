@@ -1,0 +1,119 @@
+// Package loadgen is a deterministic, coordinated-omission-safe load
+// generator for the labd daemon and the fleet router.
+//
+// The generator is open-loop first: arrivals follow a seeded schedule
+// (Poisson, uniform, or ramped) fixed before the run starts, and every
+// request's latency is measured from its *intended* start time — the
+// slot the schedule assigned it — to its completion. A service that
+// stalls therefore charges the stall to every request that was supposed
+// to start during it, which is the wrk2 correction for coordinated
+// omission; a closed-loop mode (workers issue the next request as soon
+// as the previous one returns) is provided for contrast, because the
+// difference between the two curves *is* the coordinated-omission error.
+//
+// Determinism is load-bearing: a schedule is a pure function of
+// (profile, rate, duration, seed), and the virtual-time simulator in
+// virtual.go replays a schedule against a queueing model with no wall
+// clock at all — same seed, byte-identical latency histogram — so CI
+// can pin the generator's arithmetic exactly. Real-time runs share
+// every line of accounting with the simulator; only the clock differs.
+//
+// FindKnee sweeps arrival rate and reports the saturation knee: the
+// highest offered rate at which the p99 SLO held with zero failures.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"jvmgc/internal/xrand"
+)
+
+// Schedule is an open-loop arrival plan: intended start offsets from
+// the run's origin, sorted non-decreasing. The schedule is fully
+// materialized before the run begins so that dispatching never does
+// rate arithmetic under load — and so the same Schedule value can drive
+// a wall-clock run and a virtual-time simulation identically.
+type Schedule struct {
+	// Offsets are intended start times relative to the run origin.
+	Offsets []time.Duration
+	// Rate is the offered rate the schedule was built for (req/s),
+	// carried for reporting.
+	Rate float64
+}
+
+// Len returns the number of planned arrivals.
+func (s Schedule) Len() int { return len(s.Offsets) }
+
+// Duration returns the schedule's span: the last intended start.
+func (s Schedule) Duration() time.Duration {
+	if len(s.Offsets) == 0 {
+		return 0
+	}
+	return s.Offsets[len(s.Offsets)-1]
+}
+
+// Poisson builds an open-loop Poisson arrival schedule: exponential
+// inter-arrival gaps with mean 1/rate, seeded, covering d. This is the
+// canonical open-loop workload — memoryless arrivals do not slow down
+// when the service does, which is exactly the property closed-loop
+// generators lose.
+func Poisson(rate float64, d time.Duration, seed uint64) Schedule {
+	if rate <= 0 || d <= 0 {
+		return Schedule{Rate: rate}
+	}
+	r := xrand.New(seed).SplitLabeled("loadgen.poisson")
+	mean := float64(time.Second) / rate
+	s := Schedule{Rate: rate, Offsets: make([]time.Duration, 0, int(rate*d.Seconds())+16)}
+	for t := time.Duration(0); ; {
+		t += time.Duration(r.Exp(mean))
+		if t >= d {
+			break
+		}
+		s.Offsets = append(s.Offsets, t)
+	}
+	return s
+}
+
+// Uniform builds a fixed-interval schedule: one arrival every 1/rate
+// seconds for d. Deterministic without a seed; useful when the test
+// wants exact arrival counts.
+func Uniform(rate float64, d time.Duration) Schedule {
+	if rate <= 0 || d <= 0 {
+		return Schedule{Rate: rate}
+	}
+	gap := time.Duration(float64(time.Second) / rate)
+	if gap <= 0 {
+		gap = 1
+	}
+	s := Schedule{Rate: rate, Offsets: make([]time.Duration, 0, int(d/gap)+1)}
+	for t := gap; t < d; t += gap {
+		s.Offsets = append(s.Offsets, t)
+	}
+	return s
+}
+
+// Stage is one segment of a ramp profile.
+type Stage struct {
+	Rate     float64       // offered rate during the stage (req/s)
+	Duration time.Duration // stage length
+}
+
+// Ramp concatenates Poisson stages into one schedule — e.g. warm-up at
+// low rate, then step to the probe rate. Each stage draws from its own
+// labeled sub-stream so editing one stage does not shift the arrivals
+// of another. The reported Rate is the final stage's.
+func Ramp(stages []Stage, seed uint64) Schedule {
+	base := xrand.New(seed)
+	var s Schedule
+	var origin time.Duration
+	for i, st := range stages {
+		sub := Poisson(st.Rate, st.Duration, base.SplitLabeled(fmt.Sprintf("loadgen.ramp.%d", i)).Uint64())
+		for _, off := range sub.Offsets {
+			s.Offsets = append(s.Offsets, origin+off)
+		}
+		origin += st.Duration
+		s.Rate = st.Rate
+	}
+	return s
+}
